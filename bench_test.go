@@ -1,0 +1,360 @@
+// Package marioh_test holds the benchmark harness: one testing.B per table
+// and figure of the paper's evaluation section (run the full versions with
+// cmd/benchall), plus micro-benchmarks for the substrate operations that
+// dominate reconstruction time and the ablation benches called out in
+// DESIGN.md.
+//
+// Run with: go test -bench=. -benchmem
+package marioh_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"marioh/internal/core"
+	"marioh/internal/datasets"
+	"marioh/internal/downstream"
+	"marioh/internal/experiments"
+	"marioh/internal/gcn"
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+	"marioh/internal/mlp"
+)
+
+// benchCfg keeps per-iteration table runs around a second.
+func benchCfg(ds ...string) experiments.RunConfig {
+	return experiments.RunConfig{
+		Seeds:    []int64{1},
+		Timeout:  8 * time.Second,
+		Datasets: ds,
+		Quick:    true,
+	}
+}
+
+// ---- Tables -------------------------------------------------------------
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.TableI(1)
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	cfg := benchCfg("crime", "hosts")
+	for i := 0; i < b.N; i++ {
+		experiments.TableII(cfg)
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	cfg := benchCfg("crime", "hosts")
+	for i := 0; i < b.N; i++ {
+		experiments.TableIII(cfg)
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	cfg := benchCfg("crime", "hosts")
+	for i := 0; i < b.N; i++ {
+		experiments.TableIV(cfg)
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	cfg := benchCfg() // Quick mode uses the non-DBLP transfer pairs
+	for i := 0; i < b.N; i++ {
+		experiments.TableV(cfg)
+	}
+}
+
+func BenchmarkTableVI(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.TableVI(cfg)
+	}
+}
+
+func BenchmarkTableVII(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.TableVII(cfg)
+	}
+}
+
+func BenchmarkTableVIII(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.TableVIII(cfg)
+	}
+}
+
+func BenchmarkTableIX(b *testing.B) {
+	cfg := benchCfg("crime", "hosts")
+	for i := 0; i < b.N; i++ {
+		experiments.TableIX(cfg)
+	}
+}
+
+// ---- Figures ------------------------------------------------------------
+
+func BenchmarkFig4(b *testing.B) {
+	cfg := benchCfg("crime", "hosts")
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4(cfg)
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	cfg := benchCfg("crime", "hosts", "directors")
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(cfg)
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	cfg := benchCfg("crime", "hosts")
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6(cfg)
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig7(cfg)
+	}
+}
+
+// ---- Core pipeline benches ------------------------------------------------
+
+// trainedSetup caches a trained model and target graph per dataset.
+type trainedSetup struct {
+	model *core.Model
+	gT    *graph.Graph
+}
+
+var setups = map[string]*trainedSetup{}
+
+func setup(b *testing.B, name string) *trainedSetup {
+	b.Helper()
+	if s, ok := setups[name]; ok {
+		return s
+	}
+	ds := datasets.MustByName(name, 1)
+	src, tgt := ds.Source.Reduced(), ds.Target.Reduced()
+	s := &trainedSetup{
+		model: core.Train(src.Project(), src, core.TrainOptions{Seed: 1, Epochs: 25}),
+		gT:    tgt.Project(),
+	}
+	setups[name] = s
+	return s
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	for _, name := range []string{"crime", "hosts", "eu"} {
+		s := setup(b, name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Reconstruct(s.gT, s.model, core.Options{Seed: 1})
+			}
+		})
+	}
+}
+
+// Ablation benches: the design choices DESIGN.md calls out.
+
+func BenchmarkAblationFiltering(b *testing.B) {
+	s := setup(b, "hosts")
+	for _, disable := range []bool{false, true} {
+		b.Run(fmt.Sprintf("disableFilter=%v", disable), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Reconstruct(s.gT, s.model, core.Options{Seed: 1, DisableFiltering: disable})
+			}
+		})
+	}
+}
+
+func BenchmarkAblationBidirectional(b *testing.B) {
+	s := setup(b, "hosts")
+	for _, disable := range []bool{false, true} {
+		b.Run(fmt.Sprintf("disableBidir=%v", disable), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Reconstruct(s.gT, s.model, core.Options{Seed: 1, DisableBidirectional: disable})
+			}
+		})
+	}
+}
+
+func BenchmarkTrainClassifier(b *testing.B) {
+	ds := datasets.MustByName("hosts", 1)
+	src := ds.Source.Reduced()
+	gS := src.Project()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Train(gS, src, core.TrainOptions{Seed: 1, Epochs: 25})
+	}
+}
+
+func BenchmarkFilterStep(b *testing.B) {
+	ds := datasets.MustByName("eu", 1)
+	g := ds.Target.Reduced().Project()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		work := g.Clone()
+		rec := hypergraph.New(g.NumNodes())
+		b.StartTimer()
+		core.Filter(work, rec)
+	}
+}
+
+// ---- Substrate micro-benches ----------------------------------------------
+
+func BenchmarkKeyEncoding(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	edges := make([][]int, 1024)
+	for i := range edges {
+		s := 2 + rng.Intn(6)
+		e := make([]int, s)
+		for j := range e {
+			e[j] = rng.Intn(100000)
+		}
+		edges[i] = e
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = hypergraph.Key(edges[i%len(edges)])
+	}
+}
+
+// BenchmarkKeyEncodingNaive is the ablation comparator for the delta-varint
+// key: a fmt-based string join, the obvious alternative encoding.
+func BenchmarkKeyEncodingNaive(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	edges := make([][]int, 1024)
+	for i := range edges {
+		s := 2 + rng.Intn(6)
+		e := make([]int, s)
+		for j := range e {
+			e[j] = rng.Intn(100000)
+		}
+		edges[i] = e
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fmt.Sprint(edges[i%len(edges)])
+	}
+}
+
+func BenchmarkProjection(b *testing.B) {
+	ds := datasets.MustByName("eu", 1)
+	h := ds.Target.Reduced()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Project()
+	}
+}
+
+func BenchmarkMaximalCliques(b *testing.B) {
+	for _, name := range []string{"hosts", "eu"} {
+		ds := datasets.MustByName(name, 1)
+		g := ds.Target.Reduced().Project()
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.MaximalCliques(2)
+			}
+		})
+	}
+}
+
+func BenchmarkSumMinCommonWeight(b *testing.B) {
+	ds := datasets.MustByName("eu", 1)
+	g := ds.Target.Reduced().Project()
+	edges := g.Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		g.SumMinCommonWeight(e.U, e.V)
+	}
+}
+
+func BenchmarkMLPForward(b *testing.B) {
+	net := mlp.New(23, []int{32, 16}, 1)
+	x := make([]float64, 23)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}
+
+func BenchmarkGCNTrain(b *testing.B) {
+	ds := datasets.MustByName("hosts", 1)
+	g := ds.Target.Reduced().Project()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gcn.Train(g, gcn.Options{Seed: 1, Epochs: 30})
+	}
+}
+
+// BenchmarkLinkPredEmbeddings compares the paper's GCN link embeddings
+// against the spectral substitute on the same input (ablation called out
+// in DESIGN.md).
+func BenchmarkLinkPredEmbeddings(b *testing.B) {
+	ds := datasets.MustByName("hosts", 1)
+	g := ds.Target.Reduced().Project()
+	h := ds.Target.Reduced()
+	for _, useGCN := range []bool{false, true} {
+		b.Run(fmt.Sprintf("gcn=%v", useGCN), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				downstream.LinkPredictionAUC(g, h, downstream.LinkPredOptions{Seed: 1, UseGCN: useGCN})
+			}
+		})
+	}
+}
+
+// BenchmarkParallelScoring exercises the scoring fan-out on a round with
+// many maximal cliques (the eu analog) against GOMAXPROCS=1.
+func BenchmarkParallelScoring(b *testing.B) {
+	s := setup(b, "eu")
+	for _, procs := range []int{1, 0} {
+		name := "gomaxprocs=all"
+		if procs == 1 {
+			name = "gomaxprocs=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			if procs == 1 {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+			}
+			cliques := s.gT.MaximalCliques(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.ScoreCliques(s.gT, s.model, cliques)
+			}
+		})
+	}
+}
+
+func BenchmarkHypergraphJaccard(b *testing.B) {
+	a := datasets.MustByName("eu", 1).Target.Reduced()
+	c := datasets.MustByName("eu", 2).Target.Reduced()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = benchmarkJaccardResult(a, c)
+	}
+}
+
+func benchmarkJaccardResult(a, c *hypergraph.Hypergraph) int {
+	n := 0
+	for _, k := range a.Keys() {
+		if c.ContainsKey(k) {
+			n++
+		}
+	}
+	return n
+}

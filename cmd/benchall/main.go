@@ -1,0 +1,126 @@
+// Command benchall regenerates every table and figure of the MARIOH
+// paper's evaluation section on the synthetic dataset analogs and prints
+// them as text tables.
+//
+// Usage:
+//
+//	benchall -all                     # everything (several minutes)
+//	benchall -table 2                 # just Table II
+//	benchall -fig 7 -quick            # quick Fig. 7 sweep
+//	benchall -table 2 -seeds 1 -timeout 10s -datasets crime,hosts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"marioh/internal/experiments"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate one table (1-9); 0 = none")
+		fig      = flag.Int("fig", 0, "regenerate one figure (4-7); 0 = none")
+		extra    = flag.Bool("extra", false, "regenerate the online-appendix analyses (feature importance, storage savings, case studies, featurizer ablation)")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		quick    = flag.Bool("quick", false, "reduced epochs / sweep sizes")
+		seeds    = flag.String("seeds", "1,2,3", "comma-separated seeds")
+		timeout  = flag.Duration("timeout", 20*time.Second, "per-method deadline")
+		dsNames  = flag.String("datasets", "", "comma-separated dataset subset")
+		showHelp = flag.Bool("h", false, "help")
+	)
+	flag.Parse()
+	if *showHelp || (!*all && !*extra && *table == 0 && *fig == 0) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.RunConfig{Timeout: *timeout, Quick: *quick}
+	for _, s := range strings.Split(*seeds, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad seed %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		cfg.Seeds = append(cfg.Seeds, v)
+	}
+	if *dsNames != "" {
+		cfg.Datasets = strings.Split(*dsNames, ",")
+	}
+
+	run := func(id int, isTable bool) {
+		start := time.Now()
+		switch {
+		case isTable && id == 1:
+			fmt.Println(experiments.TableI(cfg.Seeds[0]).Render())
+		case isTable && id == 2:
+			fmt.Println(experiments.TableII(cfg).Render())
+		case isTable && id == 3:
+			fmt.Println(experiments.TableIII(cfg).Render())
+		case isTable && id == 4:
+			fmt.Println(experiments.TableIV(cfg).Render())
+		case isTable && id == 5:
+			fmt.Println(experiments.TableV(cfg).Render())
+		case isTable && id == 6:
+			fmt.Println(experiments.TableVI(cfg).Render())
+		case isTable && id == 7:
+			fmt.Println(experiments.TableVII(cfg).Render())
+		case isTable && id == 8:
+			fmt.Println(experiments.TableVIII(cfg).Render())
+		case isTable && id == 9:
+			fmt.Println(experiments.TableIX(cfg).Render())
+		case !isTable && id == 4:
+			for _, t := range experiments.Fig4(cfg) {
+				fmt.Println(t.Render())
+			}
+		case !isTable && id == 5:
+			fmt.Println(experiments.Fig5(cfg).Render())
+		case !isTable && id == 6:
+			fmt.Println(experiments.Fig6(cfg).Render())
+		case !isTable && id == 7:
+			fmt.Println(experiments.Fig7(cfg).Render())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown %s %d\n", map[bool]string{true: "table", false: "figure"}[isTable], id)
+			os.Exit(2)
+		}
+		fmt.Printf("[%.1fs]\n\n", time.Since(start).Seconds())
+	}
+
+	runExtra := func() {
+		start := time.Now()
+		fiCfg := cfg
+		if len(fiCfg.Datasets) == 0 && *dsNames == "" {
+			// Feature importance and the featurizer ablation are expensive;
+			// default to a representative subset.
+			fiCfg.Datasets = []string{"crime", "hosts", "enron", "eu"}
+		}
+		fmt.Println(experiments.FeatureImportance(fiCfg).Render())
+		fmt.Println(experiments.StorageSavings(cfg.Seeds[0]).Render())
+		fmt.Println(experiments.FeaturizerAblation(fiCfg).Render())
+		for _, ds := range []string{"hosts", "crime"} {
+			fmt.Println(experiments.CaseStudy(ds, cfg.Seeds[0], cfg).Render())
+		}
+		fmt.Printf("[%.1fs]\n\n", time.Since(start).Seconds())
+	}
+
+	switch {
+	case *all:
+		for id := 1; id <= 9; id++ {
+			run(id, true)
+		}
+		for id := 4; id <= 7; id++ {
+			run(id, false)
+		}
+		runExtra()
+	case *extra:
+		runExtra()
+	case *table != 0:
+		run(*table, true)
+	case *fig != 0:
+		run(*fig, false)
+	}
+}

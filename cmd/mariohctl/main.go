@@ -1,0 +1,289 @@
+// Command mariohctl is the operational CLI of the MARIOH reproduction:
+// generate datasets, train + reconstruct, and evaluate reconstructions.
+//
+// Usage:
+//
+//	mariohctl datasets
+//	mariohctl gen -dataset crime -seed 1 -out ./data
+//	mariohctl reconstruct -train ./data/crime.source.hg -target ./data/crime.target.graph -out ./rec.hg
+//	mariohctl eval -truth ./data/crime.target.hg -rec ./rec.hg
+//	mariohctl demo -dataset hosts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"marioh"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "datasets":
+		for _, n := range marioh.DatasetNames() {
+			fmt.Println(n)
+		}
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "reconstruct":
+		err = cmdReconstruct(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "apply":
+		err = cmdApply(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "demo":
+		err = cmdDemo(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mariohctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mariohctl <command> [flags]
+
+commands:
+  datasets     list the available synthetic dataset analogs
+  gen          generate a dataset to disk (source/target hypergraphs + target graph)
+  reconstruct  train on a source hypergraph and reconstruct a target graph
+  train        train a classifier on a source hypergraph and save it as JSON
+  apply        reconstruct a target graph with a previously saved model
+  eval         compare a reconstruction against the ground truth
+  demo         end-to-end run on one dataset, printing accuracy`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name := fs.String("dataset", "crime", "dataset analog name")
+	seed := fs.Int64("seed", 1, "generation seed")
+	out := fs.String("out", ".", "output directory")
+	reduced := fs.Bool("reduced", true, "reduce hyperedge multiplicities to 1")
+	fs.Parse(args)
+
+	ds, err := marioh.GenerateDataset(*name, *seed)
+	if err != nil {
+		return err
+	}
+	src, tgt := ds.Source, ds.Target
+	if *reduced {
+		src, tgt = src.Reduced(), tgt.Reduced()
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	write := func(suffix string, fn func(f *os.File) error) error {
+		path := filepath.Join(*out, *name+suffix)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return f.Close()
+	}
+	if err := write(".source.hg", func(f *os.File) error { return src.Write(f) }); err != nil {
+		return err
+	}
+	if err := write(".target.hg", func(f *os.File) error { return tgt.Write(f) }); err != nil {
+		return err
+	}
+	return write(".target.graph", func(f *os.File) error { return tgt.Project().Write(f) })
+}
+
+func cmdReconstruct(args []string) error {
+	fs := flag.NewFlagSet("reconstruct", flag.ExitOnError)
+	trainPath := fs.String("train", "", "source hypergraph file (supervision)")
+	targetPath := fs.String("target", "", "target projected graph file")
+	out := fs.String("out", "reconstructed.hg", "output hypergraph file")
+	seed := fs.Int64("seed", 1, "random seed")
+	theta := fs.Float64("theta", 0.9, "initial classification threshold")
+	ratio := fs.Float64("r", 40, "negative prediction processing ratio (%)")
+	alpha := fs.Float64("alpha", 1.0/20, "threshold adjust ratio")
+	fs.Parse(args)
+	if *trainPath == "" || *targetPath == "" {
+		return fmt.Errorf("-train and -target are required")
+	}
+
+	src, err := readHypergraphFile(*trainPath)
+	if err != nil {
+		return err
+	}
+	tf, err := os.Open(*targetPath)
+	if err != nil {
+		return err
+	}
+	gT, err := marioh.ReadGraph(tf)
+	tf.Close()
+	if err != nil {
+		return err
+	}
+
+	model := marioh.TrainModel(src.Project(), src, marioh.TrainOptions{Seed: *seed})
+	res := marioh.Reconstruct(gT, model, marioh.Options{
+		Seed: *seed, ThetaInit: *theta, R: *ratio, Alpha: *alpha,
+	})
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.Hypergraph.Write(f); err != nil {
+		return err
+	}
+	fmt.Printf("reconstructed %d unique hyperedges (%d occurrences) in %d rounds "+
+		"(filter %.3fs, search %.3fs) -> %s\n",
+		res.Hypergraph.NumUnique(), res.Hypergraph.NumTotal(), res.Times.Rounds,
+		res.Times.Filtering.Seconds(), res.Times.Bidirectional.Seconds(), *out)
+	return f.Close()
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	trainPath := fs.String("train", "", "source hypergraph file (supervision)")
+	out := fs.String("out", "model.json", "output model file")
+	seed := fs.Int64("seed", 1, "random seed")
+	featurizer := fs.String("features", "marioh", "featurizer: marioh | marioh-nomhh | shyre-count | shyre-motif")
+	epochs := fs.Int("epochs", 60, "training epochs")
+	ratio := fs.Float64("supervision", 1.0, "fraction of source hyperedges used")
+	fs.Parse(args)
+	if *trainPath == "" {
+		return fmt.Errorf("-train is required")
+	}
+	src, err := readHypergraphFile(*trainPath)
+	if err != nil {
+		return err
+	}
+	feat, ok := marioh.FeaturizerByName(*featurizer)
+	if !ok {
+		return fmt.Errorf("unknown featurizer %q", *featurizer)
+	}
+	model := marioh.TrainModel(src.Project(), src, marioh.TrainOptions{
+		Seed: *seed, Featurizer: feat, Epochs: *epochs, SupervisionRatio: *ratio,
+	})
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := model.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d positives / %d negatives (sample %.3fs, train %.3fs) -> %s\n",
+		model.Stats.Positives, model.Stats.Negatives,
+		model.Stats.SampleTime.Seconds(), model.Stats.TrainTime.Seconds(), *out)
+	return f.Close()
+}
+
+func cmdApply(args []string) error {
+	fs := flag.NewFlagSet("apply", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "trained model file")
+	targetPath := fs.String("target", "", "target projected graph file")
+	out := fs.String("out", "reconstructed.hg", "output hypergraph file")
+	seed := fs.Int64("seed", 1, "random seed")
+	theta := fs.Float64("theta", 0.9, "initial classification threshold")
+	ratio := fs.Float64("r", 40, "negative prediction processing ratio (%)")
+	alpha := fs.Float64("alpha", 1.0/20, "threshold adjust ratio")
+	fs.Parse(args)
+	if *targetPath == "" {
+		return fmt.Errorf("-target is required")
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	model, err := marioh.LoadModel(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+	tf, err := os.Open(*targetPath)
+	if err != nil {
+		return err
+	}
+	gT, err := marioh.ReadGraph(tf)
+	tf.Close()
+	if err != nil {
+		return err
+	}
+	res := marioh.Reconstruct(gT, model, marioh.Options{
+		Seed: *seed, ThetaInit: *theta, R: *ratio, Alpha: *alpha,
+	})
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.Hypergraph.Write(f); err != nil {
+		return err
+	}
+	fmt.Printf("reconstructed %d unique hyperedges (%d occurrences) -> %s\n",
+		res.Hypergraph.NumUnique(), res.Hypergraph.NumTotal(), *out)
+	return f.Close()
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	truthPath := fs.String("truth", "", "ground-truth hypergraph file")
+	recPath := fs.String("rec", "", "reconstructed hypergraph file")
+	fs.Parse(args)
+	if *truthPath == "" || *recPath == "" {
+		return fmt.Errorf("-truth and -rec are required")
+	}
+	truth, err := readHypergraphFile(*truthPath)
+	if err != nil {
+		return err
+	}
+	rec, err := readHypergraphFile(*recPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Jaccard       %.4f\n", marioh.Jaccard(truth, rec))
+	fmt.Printf("multi-Jaccard %.4f\n", marioh.MultiJaccard(truth, rec))
+	return nil
+}
+
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	name := fs.String("dataset", "hosts", "dataset analog name")
+	seed := fs.Int64("seed", 1, "seed")
+	fs.Parse(args)
+
+	ds, err := marioh.GenerateDataset(*name, *seed)
+	if err != nil {
+		return err
+	}
+	src, tgt := ds.Source.Reduced(), ds.Target.Reduced()
+	fmt.Printf("dataset %s: source %d hyperedges, target %d hyperedges\n",
+		*name, src.NumUnique(), tgt.NumUnique())
+	model := marioh.TrainModel(src.Project(), src, marioh.TrainOptions{Seed: *seed})
+	res := marioh.Reconstruct(tgt.Project(), model, marioh.Options{Seed: *seed})
+	fmt.Printf("reconstructed %d hyperedges, Jaccard %.4f (filter %.3fs, search %.3fs)\n",
+		res.Hypergraph.NumUnique(), marioh.Jaccard(tgt, res.Hypergraph),
+		res.Times.Filtering.Seconds(), res.Times.Bidirectional.Seconds())
+	return nil
+}
+
+func readHypergraphFile(path string) (*marioh.Hypergraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return marioh.ReadHypergraph(f)
+}

@@ -1,0 +1,57 @@
+// Package baselines implements the eight comparison methods evaluated in
+// the MARIOH paper (Sect. IV-A):
+//
+//   - overlapping community detection: Demon (Coscia et al., KDD 2012) and
+//     CFinder (Palla et al., Nature 2005);
+//   - clique decomposition: MaxClique (Bron–Kerbosch) and CliqueCovering
+//     (Conte et al., SAC 2016);
+//   - hypergraph reconstruction: Bayesian-MDL (Young et al., Comm. Phys.
+//     2021), SHyRe-Count and SHyRe-Motif (Wang & Kleinberg, ICLR 2024), and
+//     the multiplicity-aware unsupervised SHyRe-Unsup from the same paper's
+//     appendix.
+//
+// Every method consumes a weighted projected graph and emits a
+// reconstructed hypergraph. Supervised methods additionally train on a
+// source (graph, hypergraph) pair. Long-running methods honor a deadline so
+// the experiment harness can report "OOT" exactly as the paper does.
+package baselines
+
+import (
+	"time"
+
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+)
+
+// Method reconstructs a hypergraph from a weighted projected graph.
+type Method interface {
+	// Name is the display name used in tables.
+	Name() string
+	// Reconstruct recovers a hypergraph from g. Implementations must not
+	// modify g. If the method's deadline expires mid-run it returns the
+	// partial result and ErrTimeout.
+	Reconstruct(g *graph.Graph) (*hypergraph.Hypergraph, error)
+}
+
+// ErrTimeout is returned when a method exceeds its configured deadline.
+var ErrTimeout = timeoutError{}
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string { return "baselines: out of time" }
+
+// deadlineChecker returns a cheap stop() predicate for the given deadline;
+// a zero deadline never stops.
+func deadlineChecker(deadline time.Time) func() bool {
+	if deadline.IsZero() {
+		return func() bool { return false }
+	}
+	n := 0
+	return func() bool {
+		n++
+		if n%64 != 0 { // amortize the clock read
+			return false
+		}
+		return time.Now().After(deadline)
+	}
+}

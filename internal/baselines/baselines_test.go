@@ -1,0 +1,241 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"marioh/internal/eval"
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+)
+
+// disjointHypergraph is unambiguous: its projection decomposes into
+// disjoint cliques, so every sane method should recover it.
+func disjointHypergraph() *hypergraph.Hypergraph {
+	h := hypergraph.New(10)
+	h.Add([]int{0, 1, 2})
+	h.Add([]int{3, 4})
+	h.Add([]int{5, 6, 7, 8})
+	return h
+}
+
+func TestMaxCliqueRecoversDisjointCliques(t *testing.T) {
+	h := disjointHypergraph()
+	rec, err := MaxClique{}.Reconstruct(h.Project())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := eval.Jaccard(h, rec); j != 1 {
+		t.Fatalf("Jaccard = %v, want 1", j)
+	}
+}
+
+func TestMaxCliqueMergesOverlap(t *testing.T) {
+	// Two triangles sharing an edge project to a graph whose maximal
+	// cliques are the triangles; but a filled K4 collapses to one clique.
+	h := hypergraph.New(4)
+	h.Add([]int{0, 1, 2})
+	h.Add([]int{0, 1, 3})
+	h.Add([]int{2, 3})
+	g := h.Project() // K4 minus nothing: {2,3} edge exists → K4 complete
+	rec, _ := MaxClique{}.Reconstruct(g)
+	if rec.NumUnique() != 1 {
+		t.Fatalf("K4 projection should give 1 maximal clique, got %v", rec.UniqueEdges())
+	}
+}
+
+func TestCliqueCoveringCoversEveryEdge(t *testing.T) {
+	h := hypergraph.New(8)
+	h.Add([]int{0, 1, 2})
+	h.Add([]int{2, 3, 4})
+	h.Add([]int{4, 5})
+	h.Add([]int{5, 6, 7})
+	g := h.Project()
+	rec, err := CliqueCovering{}.Reconstruct(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every edge of g must lie inside at least one reconstructed hyperedge.
+	covered := graph.New(g.NumNodes())
+	rec.Each(func(nodes []int, _ int) {
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				if !covered.HasEdge(nodes[i], nodes[j]) {
+					covered.AddWeight(nodes[i], nodes[j], 1)
+				}
+			}
+		}
+	})
+	for _, e := range g.Edges() {
+		if !covered.HasEdge(e.U, e.V) {
+			t.Fatalf("edge {%d,%d} not covered", e.U, e.V)
+		}
+	}
+}
+
+func TestBayesianMDLFeasibleAndParsimonius(t *testing.T) {
+	h := disjointHypergraph()
+	g := h.Project()
+	rec, err := BayesianMDL{Seed: 1, Iters: 5000}.Reconstruct(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := eval.Jaccard(h, rec); j != 1 {
+		t.Fatalf("Jaccard = %v, want 1 on disjoint cliques (rec=%v)", j, rec.UniqueEdges())
+	}
+}
+
+func TestBayesianMDLDeadline(t *testing.T) {
+	h := disjointHypergraph()
+	_, err := BayesianMDL{Seed: 1, Iters: 1 << 30,
+		Deadline: time.Now().Add(-time.Second)}.Reconstruct(h.Project())
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestShyreUnsupExactOnDuplicatedTriangle(t *testing.T) {
+	// SHyRe-Unsup is multiplicity-aware: a triangle with ω=2 everywhere
+	// should be emitted twice.
+	h := hypergraph.New(3)
+	h.AddMult([]int{0, 1, 2}, 2)
+	rec, err := ShyreUnsup{}.Reconstruct(h.Project())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Multiplicity([]int{0, 1, 2}) != 2 {
+		t.Fatalf("multiplicity = %d, want 2", rec.Multiplicity([]int{0, 1, 2}))
+	}
+	if got := eval.MultiJaccard(h, rec); got != 1 {
+		t.Fatalf("multi-Jaccard = %v", got)
+	}
+}
+
+func TestShyreUnsupConsumesAllEdges(t *testing.T) {
+	h := disjointHypergraph()
+	g := h.Project()
+	rec, err := ShyreUnsup{}.Reconstruct(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reconstruction's projection must equal the input graph.
+	got := rec.Project()
+	if got.TotalWeight() != g.TotalWeight() {
+		t.Fatalf("projection weight %d, want %d", got.TotalWeight(), g.TotalWeight())
+	}
+}
+
+func TestShyreUnsupDeadline(t *testing.T) {
+	h := disjointHypergraph()
+	_, err := ShyreUnsup{Deadline: time.Now().Add(-time.Second)}.Reconstruct(h.Project())
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestShyreSupervisedEndToEnd(t *testing.T) {
+	// Train and reconstruct on the same simple domain.
+	src := hypergraph.New(12)
+	src.Add([]int{0, 1, 2})
+	src.Add([]int{3, 4, 5})
+	src.Add([]int{6, 7})
+	src.Add([]int{8, 9, 10, 11})
+	sh := &Shyre{Seed: 1}
+	sh.Train(src.Project(), src)
+	rec, err := sh.Reconstruct(src.Project())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := eval.Jaccard(src, rec); j < 0.99 {
+		t.Fatalf("Jaccard = %v on trivially learnable domain (rec=%v)", j, rec.UniqueEdges())
+	}
+	if sh.Name() != "SHyRe-Count" {
+		t.Fatalf("Name = %q", sh.Name())
+	}
+	if (&Shyre{Motif: true}).Name() != "SHyRe-Motif" {
+		t.Fatal("motif name wrong")
+	}
+}
+
+func TestShyreReconstructBeforeTrainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sh := &Shyre{}
+	sh.Reconstruct(graph.New(2))
+}
+
+func TestDemonFindsEgoCommunities(t *testing.T) {
+	// Two dense groups bridged by one node.
+	h := hypergraph.New(9)
+	h.Add([]int{0, 1, 2, 3})
+	h.Add([]int{4, 5, 6, 7})
+	h.Add([]int{3, 4}) // bridge
+	rec, err := Demon{}.Reconstruct(h.Project())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.NumUnique() == 0 {
+		t.Fatal("Demon found nothing")
+	}
+	// Some community should contain the dense group {0,1,2,3}.
+	found := false
+	rec.Each(func(nodes []int, _ int) {
+		if containsAll(nodes, []int{0, 1, 2}) {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatalf("dense group not found: %v", rec.UniqueEdges())
+	}
+}
+
+func TestCFinderPercolation(t *testing.T) {
+	// Two triangles sharing an edge percolate (k=3) into one community
+	// {0,1,2,3}; a distant triangle stays separate.
+	g := graph.New(7)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {4, 5}, {4, 6}, {5, 6}} {
+		g.AddWeight(e[0], e[1], 1)
+	}
+	rec, err := CFinder{K: 3}.Reconstruct(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Contains([]int{0, 1, 2, 3}) {
+		t.Fatalf("percolated community missing: %v", rec.UniqueEdges())
+	}
+	if !rec.Contains([]int{4, 5, 6}) {
+		t.Fatalf("isolated triangle missing: %v", rec.UniqueEdges())
+	}
+	if rec.NumUnique() != 2 {
+		t.Fatalf("want exactly 2 communities, got %v", rec.UniqueEdges())
+	}
+}
+
+func TestCFinderNoKCliques(t *testing.T) {
+	g := graph.New(4)
+	g.AddWeight(0, 1, 1)
+	g.AddWeight(2, 3, 1)
+	rec, err := CFinder{K: 3}.Reconstruct(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.NumUnique() != 0 {
+		t.Fatal("no triangles exist; communities should be empty")
+	}
+}
+
+func containsAll(haystack, needles []int) bool {
+	set := make(map[int]bool, len(haystack))
+	for _, v := range haystack {
+		set[v] = true
+	}
+	for _, n := range needles {
+		if !set[n] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,199 @@
+package baselines
+
+import (
+	"sort"
+	"time"
+
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+)
+
+// Demon is the local-first overlapping community detection baseline of
+// Coscia et al. (KDD 2012). For every node u, label propagation is run on
+// the ego-minus-ego network of u; each resulting local community (plus u)
+// is merged into the global community pool, where a community is absorbed
+// by an existing one when at least Epsilon of its nodes are already
+// contained (ε = 1 — the paper's setting — absorbs only fully-contained
+// communities). Every remaining community of at least MinSize nodes
+// becomes one hyperedge.
+type Demon struct {
+	// Epsilon is the containment fraction required to merge; default 1.
+	Epsilon float64
+	// MinSize is the minimum community size kept; default 2.
+	MinSize int
+	// MaxIters bounds label propagation sweeps per ego network; default 30.
+	MaxIters int
+	// Deadline aborts long runs with ErrTimeout (zero = none).
+	Deadline time.Time
+}
+
+// Name implements Method.
+func (Demon) Name() string { return "Demon" }
+
+// Reconstruct implements Method.
+func (d Demon) Reconstruct(g *graph.Graph) (*hypergraph.Hypergraph, error) {
+	eps := d.Epsilon
+	if eps <= 0 {
+		eps = 1
+	}
+	minSize := d.MinSize
+	if minSize < 2 {
+		minSize = 2
+	}
+	maxIters := d.MaxIters
+	if maxIters <= 0 {
+		maxIters = 30
+	}
+	stop := deadlineChecker(d.Deadline)
+
+	var pool [][]int          // global community pool, each sorted
+	byNode := map[int][]int{} // node -> pool indices (inverted index)
+	index := func(i int, c []int) {
+		for _, u := range c {
+			byNode[u] = append(byNode[u], i)
+		}
+	}
+	merge := func(c []int) {
+		set := make(map[int]bool, len(c))
+		for _, u := range c {
+			set[u] = true
+		}
+		// Only communities sharing at least one node can merge, so scan
+		// just the inverted-index candidates instead of the whole pool.
+		seen := map[int]bool{}
+		for _, u := range c {
+			for _, i := range byNode[u] {
+				if seen[i] {
+					continue
+				}
+				seen[i] = true
+				p := pool[i]
+				inter := 0
+				for _, v := range p {
+					if set[v] {
+						inter++
+					}
+				}
+				// Absorb the smaller community into the larger when the
+				// containment fraction of the smaller reaches eps.
+				small := len(c)
+				if len(p) < small {
+					small = len(p)
+				}
+				if small > 0 && float64(inter) >= eps*float64(small) {
+					merged := unionSorted(p, c)
+					pool[i] = merged
+					index(i, merged) // index may hold duplicates; seen dedups
+					return
+				}
+			}
+		}
+		cc := make([]int, len(c))
+		copy(cc, c)
+		pool = append(pool, cc)
+		index(len(pool)-1, cc)
+	}
+
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		if stop() {
+			break
+		}
+		if g.Degree(u) < 1 {
+			continue
+		}
+		for _, comm := range egoCommunities(g, u, maxIters) {
+			comm = append(comm, u)
+			sort.Ints(comm)
+			if len(comm) >= minSize {
+				merge(comm)
+			}
+		}
+	}
+
+	rec := hypergraph.New(n)
+	for _, c := range pool {
+		if len(c) >= minSize && !rec.Contains(c) {
+			rec.Add(c)
+		}
+	}
+	if !d.Deadline.IsZero() && time.Now().After(d.Deadline) {
+		return rec, ErrTimeout
+	}
+	return rec, nil
+}
+
+// egoCommunities runs synchronous-ish label propagation on the ego-minus-
+// ego network of u (the subgraph induced by N(u), excluding u itself) and
+// returns the label groups.
+func egoCommunities(g *graph.Graph, u int, maxIters int) [][]int {
+	nb := g.Neighbors(u)
+	if len(nb) == 0 {
+		return nil
+	}
+	pos := make(map[int]int, len(nb))
+	for i, v := range nb {
+		pos[v] = i
+	}
+	// Induced adjacency within the ego network.
+	adj := make([][]int, len(nb))
+	for i, v := range nb {
+		for _, w := range nb[i+1:] {
+			if g.HasEdge(v, w) {
+				j := pos[w]
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	label := make([]int, len(nb))
+	for i := range label {
+		label[i] = i
+	}
+	for it := 0; it < maxIters; it++ {
+		changed := false
+		for i := range nb {
+			if len(adj[i]) == 0 {
+				continue
+			}
+			counts := make(map[int]int)
+			for _, j := range adj[i] {
+				counts[label[j]]++
+			}
+			best, bestCnt := label[i], 0
+			// Deterministic tie-break: smallest label among the most
+			// frequent.
+			keys := make([]int, 0, len(counts))
+			for l := range counts {
+				keys = append(keys, l)
+			}
+			sort.Ints(keys)
+			for _, l := range keys {
+				if counts[l] > bestCnt {
+					best, bestCnt = l, counts[l]
+				}
+			}
+			if best != label[i] {
+				label[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	groups := make(map[int][]int)
+	for i, l := range label {
+		groups[l] = append(groups[l], nb[i])
+	}
+	labels := make([]int, 0, len(groups))
+	for l := range groups {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	out := make([][]int, 0, len(groups))
+	for _, l := range labels {
+		out = append(out, groups[l])
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package baselines
+
+import (
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+)
+
+// MaxClique is the clique-decomposition baseline: every maximal clique of
+// the projected graph (found with Bron–Kerbosch, Algorithm 457) becomes one
+// hyperedge. It ignores edge multiplicity entirely, so overlapping
+// hyperedges are fused into their union clique and duplicated hyperedges
+// are never recovered.
+type MaxClique struct {
+	// Limit caps the number of maximal cliques enumerated; ≤ 0 = unlimited.
+	Limit int
+}
+
+// Name implements Method.
+func (MaxClique) Name() string { return "MaxClique" }
+
+// Reconstruct implements Method.
+func (m MaxClique) Reconstruct(g *graph.Graph) (*hypergraph.Hypergraph, error) {
+	limit := m.Limit
+	if limit <= 0 {
+		limit = -1
+	}
+	rec := hypergraph.New(g.NumNodes())
+	for _, q := range g.MaximalCliquesLimit(2, limit) {
+		if !rec.Contains(q) {
+			rec.Add(q)
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,101 @@
+package baselines
+
+import (
+	"sort"
+	"time"
+
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+)
+
+// ShyreUnsup is the multiplicity-aware unsupervised method from the
+// appendix of Wang & Kleinberg (ICLR 2024): at each iteration the maximal
+// cliques of the residual graph are ranked — larger cliques first, and
+// among equal sizes the one with the lowest average edge multiplicity —
+// and the single top-ranked clique is converted into a hyperedge, its
+// edges' multiplicities decremented by one. The process repeats until no
+// edges remain. Because maximal cliques are recomputed after every single
+// replacement, the method is accurate on small inputs but scales poorly —
+// exactly the behaviour (including OOT entries) reported in the paper.
+type ShyreUnsup struct {
+	// MaxRounds bounds the number of replacements; ≤ 0 = no bound.
+	MaxRounds int
+	// Deadline aborts long runs with ErrTimeout (zero = none).
+	Deadline time.Time
+}
+
+// Name implements Method.
+func (ShyreUnsup) Name() string { return "SHyRe-Unsup" }
+
+// Reconstruct implements Method.
+func (s ShyreUnsup) Reconstruct(g *graph.Graph) (*hypergraph.Hypergraph, error) {
+	work := g.Clone()
+	rec := hypergraph.New(g.NumNodes())
+	rounds := 0
+	for work.NumEdges() > 0 {
+		if s.MaxRounds > 0 && rounds >= s.MaxRounds {
+			break
+		}
+		if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+			return rec, ErrTimeout
+		}
+		rounds++
+		best := topRankedClique(work)
+		if best == nil {
+			break
+		}
+		rec.Add(best)
+		for i := 0; i < len(best); i++ {
+			for j := i + 1; j < len(best); j++ {
+				work.AddWeight(best[i], best[j], -1)
+			}
+		}
+	}
+	return rec, nil
+}
+
+// topRankedClique returns the maximal clique preferred by SHyRe-Unsup's
+// ranking: maximum size, then minimum average edge multiplicity, then
+// lexicographically smallest for determinism.
+func topRankedClique(g *graph.Graph) []int {
+	var best []int
+	bestAvg := 0.0
+	g.EachMaximalClique(2, func(q []int) bool {
+		avg := avgMultiplicity(g, q)
+		if best == nil || len(q) > len(best) ||
+			(len(q) == len(best) && (avg < bestAvg ||
+				(avg == bestAvg && lexLess(q, best)))) {
+			best = append(best[:0], q...)
+			bestAvg = avg
+		}
+		return true
+	})
+	if best == nil {
+		return nil
+	}
+	sort.Ints(best)
+	return best
+}
+
+func avgMultiplicity(g *graph.Graph, q []int) float64 {
+	if len(q) < 2 {
+		return 0
+	}
+	sum, cnt := 0, 0
+	for i := 0; i < len(q); i++ {
+		for j := i + 1; j < len(q); j++ {
+			sum += g.Weight(q[i], q[j])
+			cnt++
+		}
+	}
+	return float64(sum) / float64(cnt)
+}
+
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"marioh/internal/hypergraph"
+)
+
+// randomHypergraph draws a small random multiset hypergraph.
+func randomHypergraph(rng *rand.Rand, n, edges int) *hypergraph.Hypergraph {
+	h := hypergraph.New(n)
+	for i := 0; i < edges; i++ {
+		s := 2 + rng.Intn(4)
+		seen := map[int]bool{}
+		var nodes []int
+		for len(nodes) < s {
+			u := rng.Intn(n)
+			if !seen[u] {
+				seen[u] = true
+				nodes = append(nodes, u)
+			}
+		}
+		h.AddMult(nodes, 1+rng.Intn(3))
+	}
+	return h
+}
+
+// TestLemma1MHHUpperBound verifies Lemma 1 on random hypergraphs: for
+// every projected edge (u, v), MHH(u, v) computed from the projection is
+// an upper bound on the number of size-≥3 hyperedge occurrences containing
+// both u and v.
+func TestLemma1MHHUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		h := randomHypergraph(rng, 12, 3+rng.Intn(15))
+		g := h.Project()
+		for _, e := range g.Edges() {
+			mhh := g.SumMinCommonWeight(e.U, e.V)
+			actual := 0
+			h.Each(func(nodes []int, mult int) {
+				if len(nodes) < 3 {
+					return
+				}
+				hasU, hasV := false, false
+				for _, x := range nodes {
+					if x == e.U {
+						hasU = true
+					}
+					if x == e.V {
+						hasV = true
+					}
+				}
+				if hasU && hasV {
+					actual += mult
+				}
+			})
+			if actual > mhh {
+				t.Fatalf("trial %d: Lemma 1 violated at (%d,%d): %d higher-order hyperedges > MHH %d",
+					trial, e.U, e.V, actual, mhh)
+			}
+		}
+	}
+}
+
+// TestLemma2ResidualLowerBound verifies Lemma 2 on random hypergraphs: the
+// residual r(u,v) = ω(u,v) − MHH(u,v), when positive, never exceeds the
+// true multiplicity of the size-2 hyperedge {u, v}.
+func TestLemma2ResidualLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 40; trial++ {
+		h := randomHypergraph(rng, 12, 3+rng.Intn(15))
+		g := h.Project()
+		for _, e := range g.Edges() {
+			r := e.W - g.SumMinCommonWeight(e.U, e.V)
+			if r <= 0 {
+				continue
+			}
+			if truth := h.Multiplicity([]int{e.U, e.V}); r > truth {
+				t.Fatalf("trial %d: Lemma 2 violated at (%d,%d): residual %d > true multiplicity %d",
+					trial, e.U, e.V, r, truth)
+			}
+		}
+	}
+}
+
+// TestSearchNeverIncreasesWeight: every BidirectionalSearch round strictly
+// consumes graph weight (or leaves it unchanged when nothing is accepted).
+func TestSearchNeverIncreasesWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		h := randomHypergraph(rng, 10, 6)
+		m := Train(h.Project(), h, TrainOptions{Seed: int64(trial), Epochs: 10})
+		g := h.Project()
+		rec := hypergraph.New(10)
+		for round := 0; round < 50 && g.NumEdges() > 0; round++ {
+			before := g.TotalWeight()
+			accepted := BidirectionalSearch(g, m, SearchOptions{Theta: 0.5, R: 50},
+				rec, rand.New(rand.NewSource(int64(round))))
+			after := g.TotalWeight()
+			if after > before {
+				t.Fatalf("weight grew: %d -> %d", before, after)
+			}
+			if accepted > 0 && after >= before {
+				t.Fatalf("accepted %d but weight did not drop", accepted)
+			}
+		}
+	}
+}
+
+// TestReconstructionProjectionInvariant: MARIOH's output always projects
+// back to exactly the input graph (every unit of ω is consumed exactly
+// once across filtering and search).
+func TestReconstructionProjectionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 10; trial++ {
+		h := randomHypergraph(rng, 10, 8)
+		m := Train(h.Project(), h, TrainOptions{Seed: int64(trial), Epochs: 10})
+		g := h.Project()
+		res := Reconstruct(g, m, Options{Seed: int64(trial)})
+		back := res.Hypergraph.Project()
+		if back.TotalWeight() != g.TotalWeight() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("trial %d: projection invariant broken (%d/%d vs %d/%d)",
+				trial, back.NumEdges(), back.TotalWeight(), g.NumEdges(), g.TotalWeight())
+		}
+		for _, e := range g.Edges() {
+			if back.Weight(e.U, e.V) != e.W {
+				t.Fatalf("trial %d: ω(%d,%d) mismatch", trial, e.U, e.V)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+)
+
+// Options configure a reconstruction run (Algorithm 1's inputs θ_init, r,
+// α plus the ablation switches).
+type Options struct {
+	// ThetaInit is the initial classification threshold θ_init. Default 0.9.
+	ThetaInit float64
+	// R is the negative prediction processing ratio r in percent.
+	// Default 40.
+	R float64
+	// Alpha is the threshold adjust ratio α: after each round,
+	// θ ← max(θ − α·θ_init, 0). Default 1/20 (the paper's setting).
+	Alpha float64
+	// DisableFiltering skips the size-2 filtering step (MARIOH-F).
+	DisableFiltering bool
+	// DisableBidirectional skips sub-clique exploration (MARIOH-B).
+	DisableBidirectional bool
+	// MaxRounds bounds the outer loop as a safety valve. Default 10000.
+	MaxRounds int
+	// MaxCliqueLimit caps per-round maximal-clique enumeration; ≤ 0 means
+	// unlimited.
+	MaxCliqueLimit int
+	Seed           int64
+}
+
+func (o *Options) defaults() {
+	if o.ThetaInit <= 0 {
+		o.ThetaInit = 0.9
+	}
+	if o.R <= 0 {
+		o.R = 40
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 1.0 / 20
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 10000
+	}
+}
+
+// StepTimes is the wall-clock breakdown of a reconstruction run, matching
+// the segments of the paper's Fig. 6 (filtering vs. bidirectional search).
+type StepTimes struct {
+	Filtering     time.Duration
+	Bidirectional time.Duration
+	Rounds        int
+}
+
+// Result bundles a reconstructed hypergraph with run metadata.
+type Result struct {
+	Hypergraph *hypergraph.Hypergraph
+	Times      StepTimes
+	// FilteredSize2 is the number of size-2 hyperedge occurrences the
+	// theoretically-guaranteed filtering emitted.
+	FilteredSize2 int
+}
+
+// Reconstruct runs MARIOH (Algorithm 1) on the projected graph g with the
+// trained classifier m, returning the reconstructed hypergraph. The input
+// graph is not modified.
+func Reconstruct(g *graph.Graph, m *Model, opts Options) *Result {
+	opts.defaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	work := g.Clone()
+	rec := hypergraph.New(g.NumNodes())
+	res := &Result{Hypergraph: rec}
+
+	if !opts.DisableFiltering {
+		t0 := time.Now()
+		res.FilteredSize2 = Filter(work, rec)
+		res.Times.Filtering = time.Since(t0)
+	}
+
+	theta := opts.ThetaInit
+	t1 := time.Now()
+	for round := 0; round < opts.MaxRounds && work.NumEdges() > 0; round++ {
+		res.Times.Rounds++
+		accepted := BidirectionalSearch(work, m, SearchOptions{
+			Theta:             theta,
+			R:                 opts.R,
+			DisableSubcliques: opts.DisableBidirectional,
+			MaxCliqueLimit:    opts.MaxCliqueLimit,
+		}, rec, rng)
+		theta = maxf(theta-opts.Alpha*opts.ThetaInit, 0)
+		if accepted == 0 && theta == 0 {
+			// θ has bottomed out and nothing scored above zero — only
+			// possible in degenerate cases (e.g. an empty classifier);
+			// fall back to consuming the remaining edges as size-2
+			// hyperedges so the loop always terminates.
+			for _, e := range work.Edges() {
+				rec.AddMult([]int{e.U, e.V}, e.W)
+				work.RemoveEdge(e.U, e.V)
+			}
+		}
+	}
+	res.Times.Bidirectional = time.Since(t1)
+	return res
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"marioh/internal/graph"
+)
+
+// scoreParallelThreshold is the clique count below which scoring stays
+// single-threaded; goroutine fan-out only pays for itself on large rounds.
+const scoreParallelThreshold = 256
+
+// ScoreCliques evaluates the classifier on each clique (treated as
+// maximal) and returns the scores in input order. It is the exported form
+// of the per-round scoring pass, used by benchmarks and analyses.
+func ScoreCliques(g *graph.Graph, m *Model, cliques [][]int) []float64 {
+	scored := scoreCliques(g, m, cliques)
+	out := make([]float64, len(scored))
+	for i, s := range scored {
+		out[i] = s.score
+	}
+	return out
+}
+
+// scoreCliques evaluates the classifier on every maximal clique. Scoring is
+// read-only on the graph and the model, so rounds with many cliques fan
+// out across GOMAXPROCS workers; results are written by index, keeping the
+// output identical to the sequential path.
+func scoreCliques(g *graph.Graph, m *Model, cliques [][]int) []scoredClique {
+	scored := make([]scoredClique, len(cliques))
+	if len(cliques) < scoreParallelThreshold {
+		for i, q := range cliques {
+			scored[i] = scoredClique{nodes: q, score: m.Score(g, q, true)}
+		}
+		return scored
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cliques) {
+		workers = len(cliques)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(cliques) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(cliques) {
+			hi = len(cliques)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				scored[i] = scoredClique{nodes: cliques[i], score: m.Score(g, cliques[i], true)}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return scored
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+)
+
+// scoredClique pairs a clique with its classifier score.
+type scoredClique struct {
+	nodes []int
+	score float64
+}
+
+// SearchOptions configure one round of BidirectionalSearch.
+type SearchOptions struct {
+	// Theta is the current acceptance threshold θ.
+	Theta float64
+	// R is the negative prediction processing ratio r (%): the share of
+	// below-threshold maximal cliques whose sub-cliques are explored.
+	R float64
+	// DisableSubcliques skips Phase 2 entirely (the MARIOH-B ablation).
+	DisableSubcliques bool
+	// MaxCliqueLimit caps maximal-clique enumeration per round (safety
+	// valve for pathologically dense residual graphs); ≤ 0 means no cap.
+	MaxCliqueLimit int
+}
+
+// BidirectionalSearch performs one round of MARIOH's Algorithm 3 on the
+// residual graph g, appending accepted hyperedges to rec and subtracting
+// their constituent edges from g. It returns the number of hyperedge
+// occurrences accepted this round.
+//
+// Phase 1 walks the above-threshold maximal cliques in descending score
+// order, re-checking before each acceptance that all clique edges still
+// exist (earlier acceptances may have consumed them). Phase 2 samples, for
+// every clique among the lowest-r% below-threshold ones, one random
+// k-sub-clique per size k ∈ [2, |Q|−1], keeps those scoring above θ, and
+// accepts them the same way.
+func BidirectionalSearch(g *graph.Graph, m *Model, opts SearchOptions, rec *hypergraph.Hypergraph, rng *rand.Rand) int {
+	limit := opts.MaxCliqueLimit
+	if limit <= 0 {
+		limit = -1
+	}
+	cliques := g.MaximalCliquesLimit(2, limit)
+	if len(cliques) == 0 {
+		return 0
+	}
+	scored := scoreCliques(g, m, cliques)
+	var pos, rest []scoredClique
+	for _, sc := range scored {
+		if sc.score > opts.Theta {
+			pos = append(pos, sc)
+		} else {
+			rest = append(rest, sc)
+		}
+	}
+
+	accepted := 0
+	// Phase 1: most promising cliques, highest score first.
+	sortByScoreDesc(pos)
+	for _, sc := range pos {
+		if allEdgesPresent(g, sc.nodes) {
+			rec.Add(sc.nodes)
+			consumeClique(g, sc.nodes)
+			accepted++
+		}
+	}
+
+	if opts.DisableSubcliques {
+		return accepted
+	}
+
+	// Phase 2: least promising cliques — the lowest r% by score.
+	sortByScoreAsc(rest)
+	nNeg := int(float64(len(rest)) * opts.R / 100)
+	if nNeg > len(rest) {
+		nNeg = len(rest)
+	}
+	var subs []scoredClique
+	for _, sc := range rest[:nNeg] {
+		q := sc.nodes
+		for k := 2; k <= len(q)-1; k++ {
+			sub := sampleSubset(q, k, rng)
+			if s := m.Score(g, sub, false); s > opts.Theta {
+				subs = append(subs, scoredClique{nodes: sub, score: s})
+			}
+		}
+	}
+	sortByScoreDesc(subs)
+	for _, sc := range subs {
+		if allEdgesPresent(g, sc.nodes) {
+			rec.Add(sc.nodes)
+			consumeClique(g, sc.nodes)
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// allEdgesPresent reports whether every pair of nodes in q is still an edge
+// of g (the E_Q ⊆ E_G' check of Algorithm 3).
+func allEdgesPresent(g *graph.Graph, q []int) bool {
+	for i := 0; i < len(q); i++ {
+		for j := i + 1; j < len(q); j++ {
+			if !g.HasEdge(q[i], q[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// consumeClique decrements ω by one on every edge of the clique, deleting
+// edges whose multiplicity reaches zero.
+func consumeClique(g *graph.Graph, q []int) {
+	for i := 0; i < len(q); i++ {
+		for j := i + 1; j < len(q); j++ {
+			g.AddWeight(q[i], q[j], -1)
+		}
+	}
+}
+
+// sortByScoreDesc orders by descending score, breaking ties by clique
+// lexicographic order for determinism.
+func sortByScoreDesc(s []scoredClique) {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].score != s[j].score {
+			return s[i].score > s[j].score
+		}
+		return lessNodes(s[i].nodes, s[j].nodes)
+	})
+}
+
+func sortByScoreAsc(s []scoredClique) {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].score != s[j].score {
+			return s[i].score < s[j].score
+		}
+		return lessNodes(s[i].nodes, s[j].nodes)
+	})
+}
+
+func lessNodes(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

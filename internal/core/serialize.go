@@ -1,0 +1,52 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"marioh/internal/features"
+	"marioh/internal/mlp"
+)
+
+// modelJSON is the serialized form of a trained Model. The featurizer is
+// stored by name and resolved through the features registry on load.
+type modelJSON struct {
+	Featurizer string            `json:"featurizer"`
+	Std        *mlp.Standardizer `json:"standardizer"`
+	Net        *mlp.Net          `json:"net"`
+}
+
+// Save writes the trained model as JSON. Training statistics are not
+// persisted — they describe a particular training run, not the model.
+func (m *Model) Save(w io.Writer) error {
+	if m.Net == nil || m.Std == nil || m.Feat == nil {
+		return fmt.Errorf("core: cannot save an untrained model")
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(modelJSON{
+		Featurizer: m.Feat.Name(),
+		Std:        m.Std,
+		Net:        m.Net,
+	})
+}
+
+// LoadModel restores a model written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var mj modelJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	feat, ok := features.ByName(mj.Featurizer)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown featurizer %q", mj.Featurizer)
+	}
+	if mj.Net == nil || mj.Std == nil {
+		return nil, fmt.Errorf("core: incomplete model file")
+	}
+	if len(mj.Net.Sizes) == 0 || mj.Net.Sizes[0] != feat.Dim() {
+		return nil, fmt.Errorf("core: model input width %v does not match featurizer %q (dim %d)",
+			mj.Net.Sizes, mj.Featurizer, feat.Dim())
+	}
+	return &Model{Feat: feat, Std: mj.Std, Net: mj.Net}, nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"marioh/internal/hypergraph"
+)
+
+func trainedTestModel(t *testing.T) (*Model, *hypergraph.Hypergraph) {
+	t.Helper()
+	h := hypergraph.New(10)
+	h.Add([]int{0, 1, 2})
+	h.Add([]int{3, 4})
+	h.Add([]int{5, 6, 7, 8})
+	return Train(h.Project(), h, TrainOptions{Seed: 1}), h
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m, h := trainedTestModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := h.Project()
+	for _, e := range h.UniqueEdges() {
+		a := m.Score(g, e, true)
+		b := got.Score(g, e, true)
+		if a != b {
+			t.Fatalf("score drift after round trip: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSaveUntrainedModelFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Model{}).Save(&buf); err == nil {
+		t.Fatal("saving an untrained model must fail")
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"featurizer":"nope","standardizer":{},"net":{"Sizes":[2,1]}}`,
+		`{"featurizer":"marioh"}`,
+		`{"featurizer":"marioh","standardizer":{},"net":{"Sizes":[2,1],"W":[[0,0]],"B":[[0]]}}`,
+	}
+	for _, c := range cases {
+		if _, err := LoadModel(strings.NewReader(c)); err == nil {
+			t.Fatalf("input %q should fail to load", c)
+		}
+	}
+}
+
+func TestLoadedModelReconstructs(t *testing.T) {
+	m, h := trainedTestModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Reconstruct(h.Project(), m, Options{Seed: 3})
+	b := Reconstruct(h.Project(), loaded, Options{Seed: 3})
+	if !a.Hypergraph.Equal(b.Hypergraph) {
+		t.Fatal("loaded model reconstructs differently")
+	}
+}

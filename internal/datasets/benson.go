@@ -1,0 +1,147 @@
+package datasets
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"marioh/internal/hypergraph"
+)
+
+// ReadBenson parses the simplex file format of Austin Benson's hypergraph
+// dataset collection (https://www.cs.cornell.edu/~arb/data/), which is
+// where the paper's Enron, P.School, H.School, DBLP and Eu datasets come
+// from. The format is two parallel files:
+//
+//   - nverts: one integer per simplex — its node count;
+//   - simplices: the concatenated node ids, one per line.
+//
+// An optional times reader (one timestamp per simplex) orders the
+// occurrences; pass nil to keep file order. Node ids are 1-based in the
+// originals and are shifted to 0-based here. Simplices with fewer than two
+// distinct nodes are skipped (the originals contain singleton simplices).
+//
+// With this loader the real datasets can be dropped into the harness in
+// place of the synthetic analogs once they are available locally.
+func ReadBenson(nverts, simplices, times io.Reader) (*TemporalHypergraph, error) {
+	sizes, err := readInts(nverts)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: nverts: %w", err)
+	}
+	nodes, err := readInts(simplices)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: simplices: %w", err)
+	}
+	var stamps []int
+	if times != nil {
+		stamps, err = readInts(times)
+		if err != nil {
+			return nil, fmt.Errorf("datasets: times: %w", err)
+		}
+		if len(stamps) != len(sizes) {
+			return nil, fmt.Errorf("datasets: %d timestamps for %d simplices", len(stamps), len(sizes))
+		}
+	}
+	th := &TemporalHypergraph{}
+	pos := 0
+	for i, s := range sizes {
+		if s < 0 || pos+s > len(nodes) {
+			return nil, fmt.Errorf("datasets: simplex %d overruns the node list", i)
+		}
+		raw := nodes[pos : pos+s]
+		pos += s
+		edge := make([]int, 0, s)
+		seen := map[int]bool{}
+		for _, u := range raw {
+			u-- // 1-based -> 0-based
+			if u < 0 {
+				return nil, fmt.Errorf("datasets: simplex %d has node id < 1", i)
+			}
+			if !seen[u] {
+				seen[u] = true
+				edge = append(edge, u)
+			}
+		}
+		if len(edge) < 2 {
+			continue
+		}
+		t := i
+		if stamps != nil {
+			t = stamps[i]
+		}
+		th.Occurrences = append(th.Occurrences, TimedEdge{Nodes: edge, Time: t})
+	}
+	if pos != len(nodes) {
+		return nil, fmt.Errorf("datasets: %d trailing node ids", len(nodes)-pos)
+	}
+	return th, nil
+}
+
+// TimedEdge is one hyperedge occurrence with a timestamp.
+type TimedEdge struct {
+	Nodes []int
+	Time  int
+}
+
+// TemporalHypergraph is an ordered stream of hyperedge occurrences, the
+// form real timestamped datasets arrive in before the source/target split.
+type TemporalHypergraph struct {
+	Occurrences []TimedEdge
+}
+
+// Split orders the occurrences by time (stable) and splits them into the
+// source/target halves of the paper's protocol, returning a Dataset.
+func (th *TemporalHypergraph) Split(name string) *Dataset {
+	occ := append([]TimedEdge(nil), th.Occurrences...)
+	// Stable insertion-free sort by time.
+	sortStableByTime(occ)
+	ds := &Dataset{Name: name}
+	ds.Full = hypergraph.New(0)
+	ds.Source = hypergraph.New(0)
+	ds.Target = hypergraph.New(0)
+	half := len(occ) / 2
+	for i, o := range occ {
+		ds.Full.Add(o.Nodes)
+		if i < half {
+			ds.Source.Add(o.Nodes)
+		} else {
+			ds.Target.Add(o.Nodes)
+		}
+	}
+	// Align the halves' node universes with the full hypergraph.
+	ds.Source.EnsureNodes(ds.Full.NumNodes())
+	ds.Target.EnsureNodes(ds.Full.NumNodes())
+	return ds
+}
+
+func sortStableByTime(occ []TimedEdge) {
+	// Insertion sort is fine for the modest streams handled here and is
+	// stable by construction.
+	for i := 1; i < len(occ); i++ {
+		for j := i; j > 0 && occ[j].Time < occ[j-1].Time; j-- {
+			occ[j], occ[j-1] = occ[j-1], occ[j]
+		}
+	}
+}
+
+func readInts(r io.Reader) ([]int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		for _, f := range strings.Fields(line) {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("bad integer %q", f)
+			}
+			out = append(out, v)
+		}
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,88 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadBenson(t *testing.T) {
+	nverts := "2\n3\n1\n2\n"
+	simplices := "1\n2\n2\n3\n4\n5\n1\n3\n"
+	times := "10\n5\n7\n1\n"
+	th, err := ReadBenson(strings.NewReader(nverts), strings.NewReader(simplices), strings.NewReader(times))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Singleton simplex {5} is dropped; three occurrences remain.
+	if len(th.Occurrences) != 3 {
+		t.Fatalf("occurrences = %d, want 3", len(th.Occurrences))
+	}
+	// Node ids shift to 0-based: first simplex {0,1}.
+	if th.Occurrences[0].Nodes[0] != 0 || th.Occurrences[0].Nodes[1] != 1 {
+		t.Fatalf("first simplex = %v", th.Occurrences[0].Nodes)
+	}
+	if th.Occurrences[0].Time != 10 {
+		t.Fatalf("time = %d", th.Occurrences[0].Time)
+	}
+}
+
+func TestReadBensonNoTimes(t *testing.T) {
+	th, err := ReadBenson(strings.NewReader("2\n2\n"), strings.NewReader("1 2 3 4\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th.Occurrences) != 2 {
+		t.Fatalf("occurrences = %d", len(th.Occurrences))
+	}
+	// File order becomes the timestamp.
+	if th.Occurrences[1].Time != 1 {
+		t.Fatalf("implicit time = %d", th.Occurrences[1].Time)
+	}
+}
+
+func TestReadBensonErrors(t *testing.T) {
+	// nverts overruns node list.
+	if _, err := ReadBenson(strings.NewReader("3\n"), strings.NewReader("1 2\n"), nil); err == nil {
+		t.Fatal("overrun should fail")
+	}
+	// Trailing ids.
+	if _, err := ReadBenson(strings.NewReader("2\n"), strings.NewReader("1 2 3\n"), nil); err == nil {
+		t.Fatal("trailing ids should fail")
+	}
+	// Timestamp count mismatch.
+	if _, err := ReadBenson(strings.NewReader("2\n"), strings.NewReader("1 2\n"), strings.NewReader("1\n2\n")); err == nil {
+		t.Fatal("timestamp mismatch should fail")
+	}
+	// Node id below 1.
+	if _, err := ReadBenson(strings.NewReader("2\n"), strings.NewReader("0 2\n"), nil); err == nil {
+		t.Fatal("0-based input should fail")
+	}
+	// Garbage integer.
+	if _, err := ReadBenson(strings.NewReader("x\n"), strings.NewReader("1 2\n"), nil); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}
+
+func TestTemporalSplit(t *testing.T) {
+	th := &TemporalHypergraph{Occurrences: []TimedEdge{
+		{Nodes: []int{0, 1}, Time: 30},
+		{Nodes: []int{2, 3}, Time: 10},
+		{Nodes: []int{4, 5}, Time: 20},
+		{Nodes: []int{0, 2}, Time: 40},
+	}}
+	ds := th.Split("test")
+	if ds.Full.NumTotal() != 4 {
+		t.Fatalf("full total = %d", ds.Full.NumTotal())
+	}
+	// Earliest half (times 10, 20) goes to the source.
+	if !ds.Source.Contains([]int{2, 3}) || !ds.Source.Contains([]int{4, 5}) {
+		t.Fatalf("source = %v", ds.Source.UniqueEdges())
+	}
+	if !ds.Target.Contains([]int{0, 1}) || !ds.Target.Contains([]int{0, 2}) {
+		t.Fatalf("target = %v", ds.Target.UniqueEdges())
+	}
+	// Universes aligned.
+	if ds.Source.NumNodes() != ds.Full.NumNodes() || ds.Target.NumNodes() != ds.Full.NumNodes() {
+		t.Fatal("node universes not aligned")
+	}
+}

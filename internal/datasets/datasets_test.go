@@ -1,0 +1,129 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegistryCompleteness(t *testing.T) {
+	if len(Names()) != 12 {
+		t.Fatalf("want 12 registered datasets, got %d: %v", len(Names()), Names())
+	}
+	if len(TableINames()) != 10 {
+		t.Fatalf("Table I must have 10 datasets")
+	}
+	for _, n := range TableINames() {
+		if _, err := ConfigByName(n); err != nil {
+			t.Fatalf("Table I dataset %q not registered", n)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", 1); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestGenerateMatchesConfig(t *testing.T) {
+	for _, name := range []string{"crime", "hosts", "pschool"} {
+		cfg, _ := ConfigByName(name)
+		ds := Generate(cfg, 1)
+		if ds.Full.NumUnique() != cfg.UniqueEdges {
+			t.Fatalf("%s: unique = %d, want %d", name, ds.Full.NumUnique(), cfg.UniqueEdges)
+		}
+		if ds.Full.NumNodes() != cfg.NumNodes {
+			t.Fatalf("%s: nodes = %d, want %d", name, ds.Full.NumNodes(), cfg.NumNodes)
+		}
+		// Average multiplicity within 25% of the target.
+		if cfg.AvgMult > 1.05 {
+			got := ds.Full.AvgMultiplicity()
+			if math.Abs(got-cfg.AvgMult)/cfg.AvgMult > 0.25 {
+				t.Fatalf("%s: avg mult = %v, want ≈ %v", name, got, cfg.AvgMult)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustByName("hosts", 7)
+	b := MustByName("hosts", 7)
+	if !a.Full.Equal(b.Full) || !a.Source.Equal(b.Source) || !a.Target.Equal(b.Target) {
+		t.Fatal("same seed must generate identical datasets")
+	}
+	c := MustByName("hosts", 8)
+	if a.Full.Equal(c.Full) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSplitCoversFull(t *testing.T) {
+	ds := MustByName("enron", 3)
+	if got := ds.Source.NumTotal() + ds.Target.NumTotal(); got != ds.Full.NumTotal() {
+		t.Fatalf("halves sum to %d, full has %d", got, ds.Full.NumTotal())
+	}
+	// Halves must be nearly equal in occurrence count.
+	diff := ds.Source.NumTotal() - ds.Target.NumTotal()
+	if diff < -1 || diff > 1 {
+		t.Fatalf("unbalanced split: %d vs %d", ds.Source.NumTotal(), ds.Target.NumTotal())
+	}
+}
+
+func TestCommunityLabels(t *testing.T) {
+	ds := MustByName("pschool", 1)
+	cfg, _ := ConfigByName("pschool")
+	if len(ds.Labels) != cfg.NumNodes {
+		t.Fatalf("labels len = %d", len(ds.Labels))
+	}
+	classes := map[int]bool{}
+	for _, l := range ds.Labels {
+		classes[l] = true
+	}
+	if len(classes) != cfg.Communities {
+		t.Fatalf("classes = %d, want %d", len(classes), cfg.Communities)
+	}
+	// Unlabeled datasets have nil labels.
+	if MustByName("crime", 1).Labels != nil {
+		t.Fatal("crime should have no labels")
+	}
+}
+
+func TestHyperedgeSizesWithinConfiguredRange(t *testing.T) {
+	cfg, _ := ConfigByName("dblp")
+	ds := Generate(cfg, 2)
+	maxSize := len(cfg.SizeWeights) + 1
+	ds.Full.Each(func(nodes []int, _ int) {
+		if len(nodes) < 2 || len(nodes) > maxSize {
+			t.Fatalf("hyperedge size %d outside [2,%d]", len(nodes), maxSize)
+		}
+	})
+}
+
+func TestHyperCL(t *testing.T) {
+	h := HyperCL(100, 200, []float64{0.5, 0.3, 0.2}, 1.0, 1)
+	if h.NumNodes() > 100 {
+		t.Fatalf("nodes = %d", h.NumNodes())
+	}
+	if h.NumTotal() < 150 { // a few draws may fail, most succeed
+		t.Fatalf("only %d hyperedges generated", h.NumTotal())
+	}
+	h2 := HyperCL(100, 200, []float64{0.5, 0.3, 0.2}, 1.0, 1)
+	if !h.Equal(h2) {
+		t.Fatal("HyperCL not deterministic")
+	}
+}
+
+func TestDBLPLikeHyperCLScaling(t *testing.T) {
+	small := DBLPLikeHyperCL(0.05, 1)
+	big := DBLPLikeHyperCL(0.1, 1)
+	if small.NumTotal() >= big.NumTotal() {
+		t.Fatalf("scaling broken: %d vs %d", small.NumTotal(), big.NumTotal())
+	}
+}
+
+func TestDatasetString(t *testing.T) {
+	s := MustByName("crime", 1).String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

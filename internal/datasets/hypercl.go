@@ -1,0 +1,58 @@
+package datasets
+
+import (
+	"math/rand"
+	"sort"
+
+	"marioh/internal/hypergraph"
+)
+
+// HyperCL implements the hypergraph Chung–Lu generator of Lee, Choe & Shin
+// (WWW 2021), which the paper uses (seeded with DBLP statistics) for the
+// scalability study in Fig. 7: every hyperedge independently draws its
+// members proportionally to a prescribed node degree sequence.
+//
+// numEdges hyperedges are generated; sizes are drawn from sizeWeights
+// (index i ↦ size i+2) and node degrees follow a power law with the given
+// exponent over numNodes nodes.
+func HyperCL(numNodes, numEdges int, sizeWeights []float64, degExponent float64, seed int64) *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	weights := nodeWeights(numNodes, degExponent, rng)
+	cum := cumulative(weights)
+	sizeCum := cumulative(sizeWeights)
+	h := hypergraph.New(numNodes)
+	for i := 0; i < numEdges; i++ {
+		s := 2 + sampleCategorical(sizeCum, rng)
+		picked := make(map[int]bool, s)
+		nodes := make([]int, 0, s)
+		for tries := 0; len(nodes) < s && tries < 50*s+100; tries++ {
+			u := searchCum(cum, rng)
+			if !picked[u] {
+				picked[u] = true
+				nodes = append(nodes, u)
+			}
+		}
+		if len(nodes) < 2 {
+			continue
+		}
+		sort.Ints(nodes)
+		h.Add(nodes)
+	}
+	return h
+}
+
+// DBLPLikeHyperCL returns a HyperCL hypergraph with DBLP-shaped statistics
+// scaled by the given factor (factor 1 ≈ the scaled-down DBLP analog).
+// Used to produce the growing inputs of the Fig. 7 scalability sweep.
+func DBLPLikeHyperCL(factor float64, seed int64) *hypergraph.Hypergraph {
+	base, _ := ConfigByName("dblp")
+	n := int(float64(base.NumNodes) * factor)
+	e := int(float64(base.UniqueEdges) * factor)
+	if n < 10 {
+		n = 10
+	}
+	if e < 5 {
+		e = 5
+	}
+	return HyperCL(n, e, base.SizeWeights, base.DegExponent, seed)
+}

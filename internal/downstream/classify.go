@@ -1,0 +1,103 @@
+package downstream
+
+import (
+	"math/rand"
+
+	"marioh/internal/eval"
+	"marioh/internal/linalg"
+	"marioh/internal/mlp"
+)
+
+// Classifier is a one-vs-rest multi-class MLP over fixed feature vectors,
+// used by the node-classification experiment (Table VIII). The paper's
+// classifier is likewise "an MLP classifier" on spectral embeddings.
+type Classifier struct {
+	classes []int
+	nets    []*mlp.Net
+	std     *mlp.Standardizer
+}
+
+// TrainClassifier fits one binary MLP per class on rows X[i] with labels
+// y[i].
+func TrainClassifier(X [][]float64, y []int, seed int64) *Classifier {
+	classSet := make(map[int]bool)
+	for _, l := range y {
+		classSet[l] = true
+	}
+	classes := make([]int, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	// Deterministic class order.
+	for i := 1; i < len(classes); i++ {
+		for j := i; j > 0 && classes[j] < classes[j-1]; j-- {
+			classes[j], classes[j-1] = classes[j-1], classes[j]
+		}
+	}
+	c := &Classifier{classes: classes}
+	c.std = mlp.FitStandardizer(X)
+	Xs := make([][]float64, len(X))
+	for i, row := range X {
+		cp := append([]float64(nil), row...)
+		c.std.Transform(cp)
+		Xs[i] = cp
+	}
+	for ci, cls := range classes {
+		yb := make([]float64, len(y))
+		for i, l := range y {
+			if l == cls {
+				yb[i] = 1
+			}
+		}
+		net := mlp.New(len(X[0]), []int{16}, seed+int64(ci))
+		net.Train(Xs, yb, mlp.TrainOptions{Epochs: 80, Seed: seed + int64(ci)})
+		c.nets = append(c.nets, net)
+	}
+	return c
+}
+
+// Predict returns the argmax class for a feature vector.
+func (c *Classifier) Predict(x []float64) int {
+	cp := append([]float64(nil), x...)
+	c.std.Transform(cp)
+	best, bestP := c.classes[0], -1.0
+	for i, net := range c.nets {
+		if p := net.Forward(cp); p > bestP {
+			best, bestP = c.classes[i], p
+		}
+	}
+	return best
+}
+
+// ClassificationF1 evaluates node classification on an embedding: nodes
+// are split into train/test (80/20) across nSplits random splits, an MLP
+// is trained per split, and the mean micro and macro F1 on the test nodes
+// are returned.
+func ClassificationF1(emb *linalg.Matrix, labels []int, nSplits int, seed int64) (micro, macro float64) {
+	n := emb.Rows
+	rng := rand.New(rand.NewSource(seed))
+	var micros, macros []float64
+	for s := 0; s < nSplits; s++ {
+		perm := rng.Perm(n)
+		cut := n * 8 / 10
+		trainIdx, testIdx := perm[:cut], perm[cut:]
+		var X [][]float64
+		var y []int
+		for _, i := range trainIdx {
+			X = append(X, emb.Row(i))
+			y = append(y, labels[i])
+		}
+		clf := TrainClassifier(X, y, seed+int64(s))
+		pred := make([]int, len(testIdx))
+		truth := make([]int, len(testIdx))
+		for k, i := range testIdx {
+			pred[k] = clf.Predict(emb.Row(i))
+			truth[k] = labels[i]
+		}
+		micros = append(micros, eval.MicroF1(pred, truth))
+		macros = append(macros, eval.MacroF1(pred, truth))
+	}
+	micro, _ = eval.MeanStd(micros)
+	macro, _ = eval.MeanStd(macros)
+	return micro, macro
+}

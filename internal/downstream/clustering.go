@@ -1,0 +1,44 @@
+package downstream
+
+import (
+	"marioh/internal/eval"
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+	"marioh/internal/linalg"
+)
+
+// ClusterGraph spectrally clusters a weighted graph into k clusters and
+// returns the node assignments (Table VII's "projected graph" row).
+func ClusterGraph(g *graph.Graph, k int, seed int64) []int {
+	emb := RowNormalize(GraphEmbedding(g, k))
+	return linalg.KMeans(emb, k, seed, 25)
+}
+
+// ClusterHypergraph spectrally clusters a hypergraph into k clusters using
+// the hypergraph Laplacian embedding.
+func ClusterHypergraph(h *hypergraph.Hypergraph, k int, seed int64) []int {
+	emb := RowNormalize(HypergraphEmbedding(h, k))
+	return linalg.KMeans(emb, k, seed, 25)
+}
+
+// ClusteringNMI runs spectral clustering and scores it against the given
+// ground-truth labels with normalized mutual information. Pass a nil
+// hypergraph to cluster the graph instead.
+func ClusteringNMI(g *graph.Graph, h *hypergraph.Hypergraph, labels []int, seed int64) float64 {
+	k := numClasses(labels)
+	var pred []int
+	if h != nil {
+		pred = ClusterHypergraph(h, k, seed)
+	} else {
+		pred = ClusterGraph(g, k, seed)
+	}
+	return eval.NMI(pred, labels)
+}
+
+func numClasses(labels []int) int {
+	seen := make(map[int]bool)
+	for _, l := range labels {
+		seen[l] = true
+	}
+	return len(seen)
+}

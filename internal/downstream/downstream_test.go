@@ -1,0 +1,179 @@
+package downstream
+
+import (
+	"testing"
+
+	"marioh/internal/eval"
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+	"marioh/internal/linalg"
+)
+
+// twoBlockGraph builds two dense blocks with a single bridge edge.
+func twoBlockGraph() (*graph.Graph, []int) {
+	g := graph.New(10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			g.AddWeight(i, j, 2)
+			g.AddWeight(i+5, j+5, 2)
+		}
+	}
+	g.AddWeight(4, 5, 1)
+	labels := []int{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}
+	return g, labels
+}
+
+func TestGraphEmbeddingShape(t *testing.T) {
+	g, _ := twoBlockGraph()
+	emb := GraphEmbedding(g, 3)
+	if emb.Rows != 10 || emb.Cols != 3 {
+		t.Fatalf("embedding shape %dx%d", emb.Rows, emb.Cols)
+	}
+}
+
+func TestClusterGraphSeparatesBlocks(t *testing.T) {
+	g, labels := twoBlockGraph()
+	pred := ClusterGraph(g, 2, 1)
+	if nmi := eval.NMI(pred, labels); nmi < 0.99 {
+		t.Fatalf("NMI = %v on trivially separable blocks", nmi)
+	}
+}
+
+func TestClusterHypergraphSeparatesBlocks(t *testing.T) {
+	h := hypergraph.New(10)
+	h.Add([]int{0, 1, 2, 3, 4})
+	h.Add([]int{5, 6, 7, 8, 9})
+	h.Add([]int{0, 1, 2})
+	h.Add([]int{5, 6, 7})
+	h.Add([]int{4, 5}) // bridge
+	labels := []int{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}
+	pred := ClusterHypergraph(h, 2, 1)
+	if nmi := eval.NMI(pred, labels); nmi < 0.99 {
+		t.Fatalf("NMI = %v", nmi)
+	}
+}
+
+func TestClusteringNMIDispatch(t *testing.T) {
+	g, labels := twoBlockGraph()
+	h := hypergraph.New(10)
+	h.Add([]int{0, 1, 2, 3, 4})
+	h.Add([]int{5, 6, 7, 8, 9})
+	if got := ClusteringNMI(g, nil, labels, 1); got < 0.99 {
+		t.Fatalf("graph NMI = %v", got)
+	}
+	if got := ClusteringNMI(g, h, labels, 1); got < 0.99 {
+		t.Fatalf("hypergraph NMI = %v", got)
+	}
+}
+
+func TestRowNormalize(t *testing.T) {
+	m := linalg.NewMatrix(2, 2)
+	m.Set(0, 0, 3)
+	m.Set(0, 1, 4)
+	RowNormalize(m)
+	if d := m.At(0, 0) - 0.6; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("normalized = %v", m.Row(0))
+	}
+	// Zero row untouched.
+	if m.At(1, 0) != 0 || m.At(1, 1) != 0 {
+		t.Fatal("zero row modified")
+	}
+}
+
+func TestClassifierLearnsSeparableClasses(t *testing.T) {
+	var X [][]float64
+	var y []int
+	for i := 0; i < 60; i++ {
+		f := float64(i % 3)
+		X = append(X, []float64{f * 10, -f * 5})
+		y = append(y, i%3)
+	}
+	clf := TrainClassifier(X, y, 1)
+	correct := 0
+	for i := range X {
+		if clf.Predict(X[i]) == y[i] {
+			correct++
+		}
+	}
+	if correct < 55 {
+		t.Fatalf("classifier got %d/60", correct)
+	}
+}
+
+func TestClassificationF1Perfect(t *testing.T) {
+	// Embedding = one-hot of the label: trivially classifiable.
+	emb := linalg.NewMatrix(60, 3)
+	labels := make([]int, 60)
+	for i := 0; i < 60; i++ {
+		labels[i] = i % 3
+		emb.Set(i, i%3, 1)
+	}
+	micro, macro := ClassificationF1(emb, labels, 2, 1)
+	if micro < 0.95 || macro < 0.95 {
+		t.Fatalf("micro=%v macro=%v on trivial embedding", micro, macro)
+	}
+}
+
+func TestLinkPredictionBeatsChanceOnStructuredGraph(t *testing.T) {
+	// Community structure: links inside blocks are predictable.
+	h := hypergraph.New(30)
+	for b := 0; b < 6; b++ {
+		base := b * 5
+		h.Add([]int{base, base + 1, base + 2, base + 3, base + 4})
+		h.Add([]int{base, base + 1, base + 2})
+	}
+	g := h.Project()
+	auc := LinkPredictionAUC(g, nil, LinkPredOptions{Seed: 1})
+	if auc < 0.75 {
+		t.Fatalf("graph AUC = %v, want > 0.75", auc)
+	}
+	aucH := LinkPredictionAUC(g, h, LinkPredOptions{Seed: 1})
+	if aucH < 0.75 {
+		t.Fatalf("hypergraph AUC = %v, want > 0.75", aucH)
+	}
+}
+
+func TestLinkPredictionWithGCN(t *testing.T) {
+	h := hypergraph.New(30)
+	for b := 0; b < 6; b++ {
+		base := b * 5
+		h.Add([]int{base, base + 1, base + 2, base + 3, base + 4})
+		h.Add([]int{base, base + 1, base + 2})
+	}
+	g := h.Project()
+	auc := LinkPredictionAUC(g, nil, LinkPredOptions{Seed: 1, UseGCN: true})
+	if auc < 0.7 {
+		t.Fatalf("GCN-embedded AUC = %v, want > 0.7", auc)
+	}
+}
+
+func TestLinkPredictionEmptyGraph(t *testing.T) {
+	if auc := LinkPredictionAUC(graph.New(5), nil, LinkPredOptions{Seed: 1}); auc != 0.5 {
+		t.Fatalf("empty graph AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestPairFeaturesValues(t *testing.T) {
+	g := graph.New(4)
+	g.AddWeight(0, 1, 2)
+	g.AddWeight(0, 2, 1)
+	g.AddWeight(1, 2, 1)
+	f := pairFeatures(g, 0, 1)
+	// Common neighbor: {2}; deg(0)=2 deg(1)=2 → Jaccard = 1/3.
+	if d := f[0] - 1.0/3; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("Jaccard feature = %v", f[0])
+	}
+	if f[7] != 2 { // ω(0,1)
+		t.Fatalf("weight feature = %v", f[7])
+	}
+}
+
+func TestPoolMinMax(t *testing.T) {
+	got := poolMinMax([]float64{1, 5}, []float64{3, 2})
+	want := []float64{1, 2, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pool = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package downstream implements the paper's Q3 applicability experiments:
+// node clustering via spectral methods (Table VII), node classification on
+// spectral embeddings (Table VIII), and link prediction with graph- and
+// hypergraph-derived features (Table IX). Inputs can be a weighted
+// projected graph, a reconstructed hypergraph, or the ground-truth
+// hypergraph, so the experiments compare exactly the alternatives the
+// paper compares.
+package downstream
+
+import (
+	"math"
+
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+	"marioh/internal/linalg"
+)
+
+// GraphEmbedding returns the k-dimensional spectral embedding of a weighted
+// graph: the eigenvectors of the symmetric normalized Laplacian
+// L = I − D^{−1/2} A D^{−1/2} for the k smallest non-trivial eigenvalues,
+// one row per node. Isolated nodes embed at the origin.
+func GraphEmbedding(g *graph.Graph, k int) *linalg.Matrix {
+	n := g.NumNodes()
+	a := linalg.NewMatrix(n, n)
+	deg := make([]float64, n)
+	for _, e := range g.Edges() {
+		w := float64(e.W)
+		a.Set(e.U, e.V, w)
+		a.Set(e.V, e.U, w)
+		deg[e.U] += w
+		deg[e.V] += w
+	}
+	return laplacianEmbedding(a, deg, k)
+}
+
+// HypergraphEmbedding returns the k-dimensional spectral embedding from
+// Zhou's normalized hypergraph Laplacian
+// Δ = I − D_v^{−1/2} H W D_e^{−1} Hᵀ D_v^{−1/2},
+// where H is the node-by-hyperedge incidence matrix, W the hyperedge
+// multiplicities, D_e the hyperedge sizes and D_v the weighted node
+// degrees.
+func HypergraphEmbedding(h *hypergraph.Hypergraph, k int) *linalg.Matrix {
+	n := h.NumNodes()
+	// A = H W De^{-1} Hᵀ accumulated edge by edge:
+	// hyperedge e adds w(e)/|e| to every pair (u,v) ∈ e×e.
+	a := linalg.NewMatrix(n, n)
+	deg := make([]float64, n)
+	h.Each(func(nodes []int, mult int) {
+		w := float64(mult) / float64(len(nodes))
+		for _, u := range nodes {
+			deg[u] += float64(mult)
+			for _, v := range nodes {
+				a.Add(u, v, w)
+			}
+		}
+	})
+	return laplacianEmbedding(a, deg, k)
+}
+
+// laplacianEmbedding builds L = I − D^{−1/2} A D^{−1/2} and returns the
+// eigenvectors of its k smallest eigenvalues (excluding numerically
+// trivial all-zero directions caused by isolated nodes).
+func laplacianEmbedding(a *linalg.Matrix, deg []float64, k int) *linalg.Matrix {
+	n := a.Rows
+	if k > n {
+		k = n
+	}
+	l := linalg.NewMatrix(n, n)
+	inv := make([]float64, n)
+	for i, d := range deg {
+		if d > 0 {
+			inv[i] = 1 / math.Sqrt(d)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				if deg[i] > 0 {
+					l.Set(i, i, 1-a.At(i, i)*inv[i]*inv[i])
+				}
+				continue
+			}
+			l.Set(i, j, -a.At(i, j)*inv[i]*inv[j])
+		}
+	}
+	vals, vecs := linalg.SymEigen(l)
+	_ = vals
+	emb := linalg.NewMatrix(n, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			emb.Set(i, j, vecs.At(i, j))
+		}
+	}
+	return emb
+}
+
+// RowNormalize scales every row of m to unit Euclidean norm in place (rows
+// of all zeros are left untouched) and returns m. Standard practice before
+// k-means in spectral clustering.
+func RowNormalize(m *linalg.Matrix) *linalg.Matrix {
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		s := 0.0
+		for _, v := range r {
+			s += v * v
+		}
+		if s == 0 {
+			continue
+		}
+		inv := 1 / math.Sqrt(s)
+		for j := range r {
+			r[j] *= inv
+		}
+	}
+	return m
+}

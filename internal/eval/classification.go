@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// NMI returns the normalized mutual information between two clusterings
+// (arbitrary label values), normalized by the arithmetic mean of the
+// entropies. Identical clusterings score 1; independent ones approach 0.
+func NMI(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("eval: NMI length mismatch")
+	}
+	n := len(pred)
+	if n == 0 {
+		return 0
+	}
+	joint := make(map[[2]int]int)
+	pc := make(map[int]int)
+	tc := make(map[int]int)
+	for i := 0; i < n; i++ {
+		joint[[2]int{pred[i], truth[i]}]++
+		pc[pred[i]]++
+		tc[truth[i]]++
+	}
+	fn := float64(n)
+	mi := 0.0
+	for pt, c := range joint {
+		pxy := float64(c) / fn
+		px := float64(pc[pt[0]]) / fn
+		py := float64(tc[pt[1]]) / fn
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	hp, ht := 0.0, 0.0
+	for _, c := range pc {
+		p := float64(c) / fn
+		hp -= p * math.Log(p)
+	}
+	for _, c := range tc {
+		p := float64(c) / fn
+		ht -= p * math.Log(p)
+	}
+	den := (hp + ht) / 2
+	if den == 0 {
+		if mi == 0 {
+			return 1 // both clusterings are single-cluster and identical
+		}
+		return 0
+	}
+	return mi / den
+}
+
+// AUC returns the area under the ROC curve for scores against binary
+// labels (1 = positive), handling score ties by assigning half credit.
+func AUC(scores []float64, labels []int) float64 {
+	if len(scores) != len(labels) {
+		panic("eval: AUC length mismatch")
+	}
+	type pair struct {
+		s float64
+		l int
+	}
+	ps := make([]pair, len(scores))
+	for i := range scores {
+		ps[i] = pair{scores[i], labels[i]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].s < ps[j].s })
+	// Rank-sum (Mann–Whitney) formulation with average ranks for ties.
+	nPos, nNeg := 0, 0
+	rankSumPos := 0.0
+	i := 0
+	for i < len(ps) {
+		j := i
+		for j < len(ps) && ps[j].s == ps[i].s {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			if ps[k].l == 1 {
+				rankSumPos += avgRank
+				nPos++
+			} else {
+				nNeg++
+			}
+		}
+		i = j
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	u := rankSumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// MicroF1 returns the micro-averaged F1 of a multi-class prediction, which
+// for single-label classification equals plain accuracy.
+func MicroF1(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("eval: MicroF1 length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// MacroF1 returns the macro-averaged F1: the unweighted mean of the
+// per-class F1 scores over the classes present in the ground truth.
+func MacroF1(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("eval: MacroF1 length mismatch")
+	}
+	classes := make(map[int]bool)
+	for _, t := range truth {
+		classes[t] = true
+	}
+	if len(classes) == 0 {
+		return 0
+	}
+	total := 0.0
+	for c := range classes {
+		tp, fp, fn := 0, 0, 0
+		for i := range pred {
+			switch {
+			case pred[i] == c && truth[i] == c:
+				tp++
+			case pred[i] == c && truth[i] != c:
+				fp++
+			case pred[i] != c && truth[i] == c:
+				fn++
+			}
+		}
+		if tp == 0 {
+			continue // F1 = 0 for this class
+		}
+		prec := float64(tp) / float64(tp+fp)
+		rec := float64(tp) / float64(tp+fn)
+		total += 2 * prec * rec / (prec + rec)
+	}
+	return total / float64(len(classes))
+}
+
+// MeanStd returns the mean and (population) standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}

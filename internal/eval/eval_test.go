@@ -1,0 +1,175 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"marioh/internal/hypergraph"
+)
+
+func h(edges ...[]int) *hypergraph.Hypergraph {
+	hg := hypergraph.New(0)
+	for _, e := range edges {
+		hg.Add(e)
+	}
+	return hg
+}
+
+func TestJaccard(t *testing.T) {
+	a := h([]int{0, 1}, []int{1, 2, 3})
+	b := h([]int{0, 1}, []int{2, 3})
+	// intersection {0,1}; union 3 edges.
+	if got := Jaccard(a, b); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("Jaccard = %v, want 1/3", got)
+	}
+	if Jaccard(a, a) != 1 {
+		t.Fatal("self Jaccard must be 1")
+	}
+	if Jaccard(hypergraph.New(0), hypergraph.New(0)) != 1 {
+		t.Fatal("two empty hypergraphs are identical")
+	}
+	if Jaccard(a, hypergraph.New(0)) != 0 {
+		t.Fatal("empty vs non-empty must be 0")
+	}
+}
+
+func TestJaccardSymmetric(t *testing.T) {
+	f := func(x, y uint8) bool {
+		a := h([]int{0, 1}, []int{int(x%5) + 2, int(x%5) + 8})
+		b := h([]int{0, 1}, []int{int(y%5) + 2, int(y%5) + 8})
+		return Jaccard(a, b) == Jaccard(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiJaccard(t *testing.T) {
+	a := hypergraph.New(0)
+	a.AddMult([]int{0, 1}, 3)
+	a.Add([]int{2, 3})
+	b := hypergraph.New(0)
+	b.AddMult([]int{0, 1}, 1)
+	b.AddMult([]int{2, 3}, 2)
+	b.Add([]int{4, 5})
+	// min: 1 + 1 + 0 = 2; max: 3 + 2 + 1 = 6.
+	if got := MultiJaccard(a, b); math.Abs(got-2.0/6) > 1e-12 {
+		t.Fatalf("MultiJaccard = %v, want 1/3", got)
+	}
+	if MultiJaccard(a, a) != 1 {
+		t.Fatal("self multi-Jaccard must be 1")
+	}
+}
+
+func TestMultiJaccardVsJaccardOnReduced(t *testing.T) {
+	// With all multiplicities 1, multi-Jaccard equals Jaccard.
+	a := h([]int{0, 1}, []int{1, 2}, []int{3, 4, 5})
+	b := h([]int{0, 1}, []int{3, 4, 5}, []int{6, 7})
+	if math.Abs(MultiJaccard(a, b)-Jaccard(a, b)) > 1e-12 {
+		t.Fatal("multi-Jaccard must equal Jaccard on multiplicity-1 hypergraphs")
+	}
+}
+
+func TestNormalizedDiff(t *testing.T) {
+	if NormalizedDiff(0, 0) != 0 {
+		t.Fatal("0,0 should be 0")
+	}
+	if NormalizedDiff(2, 4) != 0.5 {
+		t.Fatal("2,4 should be 0.5")
+	}
+	if NormalizedDiff(4, 2) != 0.5 {
+		t.Fatal("must be symmetric")
+	}
+	if NormalizedDiff(0, 5) != 1 {
+		t.Fatal("0,5 should be 1")
+	}
+}
+
+func TestKSStatistic(t *testing.T) {
+	if KSStatistic(nil, nil) != 0 {
+		t.Fatal("empty vs empty = 0")
+	}
+	if KSStatistic([]float64{1}, nil) != 1 {
+		t.Fatal("empty vs non-empty = 1")
+	}
+	same := []float64{1, 2, 3, 4}
+	if KSStatistic(same, same) != 0 {
+		t.Fatal("identical samples = 0")
+	}
+	// Disjoint supports: D = 1.
+	if got := KSStatistic([]float64{1, 2}, []float64{10, 20}); got != 1 {
+		t.Fatalf("disjoint D = %v, want 1", got)
+	}
+	// Known: a = {1,2}, b = {2,3}: CDF gap peaks at 0.5 at x=1.
+	if got := KSStatistic([]float64{1, 2}, []float64{2, 3}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("D = %v, want 0.5", got)
+	}
+}
+
+func TestKSStatisticBounds(t *testing.T) {
+	f := func(a, b []float64) bool {
+		d := KSStatistic(a, b)
+		return d >= 0 && d <= 1 && d == KSStatistic(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNMI(t *testing.T) {
+	if got := NMI([]int{0, 0, 1, 1}, []int{5, 5, 9, 9}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("relabeled identical clustering NMI = %v, want 1", got)
+	}
+	// Independent-ish: one cluster vs two.
+	got := NMI([]int{0, 0, 0, 0}, []int{0, 0, 1, 1})
+	if got < 0 || got > 0.01 {
+		t.Fatalf("uninformative clustering NMI = %v, want ≈ 0", got)
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Perfect ranking.
+	if got := AUC([]float64{0.1, 0.2, 0.8, 0.9}, []int{0, 0, 1, 1}); got != 1 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+	// Inverted ranking.
+	if got := AUC([]float64{0.9, 0.8, 0.2, 0.1}, []int{0, 0, 1, 1}); got != 0 {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+	// All ties → 0.5.
+	if got := AUC([]float64{0.5, 0.5, 0.5, 0.5}, []int{0, 1, 0, 1}); got != 0.5 {
+		t.Fatalf("tied AUC = %v", got)
+	}
+	// Single class → 0.5 by convention.
+	if got := AUC([]float64{0.1, 0.9}, []int{1, 1}); got != 0.5 {
+		t.Fatalf("single-class AUC = %v", got)
+	}
+}
+
+func TestMicroMacroF1(t *testing.T) {
+	pred := []int{0, 0, 1, 1, 2}
+	truth := []int{0, 1, 1, 1, 2}
+	if got := MicroF1(pred, truth); got != 0.8 {
+		t.Fatalf("MicroF1 = %v, want 0.8", got)
+	}
+	// Per-class F1: class 0: tp=1 fp=1 fn=0 → p=.5 r=1 → 2/3.
+	// class 1: tp=2 fp=0 fn=1 → p=1 r=2/3 → 0.8. class 2: perfect → 1.
+	want := (2.0/3 + 0.8 + 1) / 3
+	if got := MacroF1(pred, truth); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MacroF1 = %v, want %v", got, want)
+	}
+	if MicroF1(truth, truth) != 1 || MacroF1(truth, truth) != 1 {
+		t.Fatal("perfect prediction must score 1")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 || s != 2 {
+		t.Fatalf("MeanStd = %v, %v; want 5, 2", m, s)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty MeanStd should be zeros")
+	}
+}

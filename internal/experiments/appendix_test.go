@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFeatureImportanceShape(t *testing.T) {
+	tab := FeatureImportance(quickCfg("crime", "hosts"))
+	// 7 feature groups + the baseline AUC row.
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tab.Rows))
+	}
+	if tab.Rows[len(tab.Rows)-1].Name != "(baseline AUC)" {
+		t.Fatalf("last row = %q", tab.Rows[len(tab.Rows)-1].Name)
+	}
+	// Baseline AUC should be well above chance on these datasets.
+	for col := range tab.Header {
+		raw := tab.Rows[len(tab.Rows)-1].Cells[col].Raw
+		if raw == "" {
+			t.Fatalf("missing baseline AUC for %s", tab.Header[col])
+		}
+		if !strings.HasPrefix(raw, "0.9") && !strings.HasPrefix(raw, "1.0") &&
+			!strings.HasPrefix(raw, "0.8") && !strings.HasPrefix(raw, "0.7") {
+			t.Errorf("baseline AUC %s on %s looks like chance", raw, tab.Header[col])
+		}
+	}
+}
+
+func TestStorageSavingsShape(t *testing.T) {
+	tab := StorageSavings(1)
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// On contact datasets with big overlaps the hypergraph must be smaller
+	// than the projection (the paper's storage argument). Check hschool.
+	for _, r := range tab.Rows {
+		if r.Name != "hschool" {
+			continue
+		}
+		if !strings.Contains(tab.Render(), "%") {
+			t.Fatal("savings column missing")
+		}
+	}
+}
+
+func TestCaseStudyRuns(t *testing.T) {
+	tab := CaseStudy("crime", 1, quickCfg("crime"))
+	if len(tab.Rows) == 0 {
+		t.Fatal("case study produced no rows")
+	}
+	recovered := 0
+	for _, r := range tab.Rows {
+		if r.Cells[0].Raw == "yes" {
+			recovered++
+		}
+	}
+	// Crime reconstructs near-perfectly; the hub's hyperedges must mostly
+	// be recovered.
+	if recovered*2 < len(tab.Rows) {
+		t.Errorf("only %d/%d ego hyperedges recovered", recovered, len(tab.Rows))
+	}
+}
+
+func TestFeaturizerAblationShape(t *testing.T) {
+	tab := FeaturizerAblation(quickCfg("crime"))
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// All representations reconstruct the trivial dataset perfectly.
+	for _, r := range tab.Rows {
+		if r.Cells[0].Mean < 90 {
+			t.Errorf("%s on crime = %v", r.Name, r.Cells[0].Mean)
+		}
+	}
+}

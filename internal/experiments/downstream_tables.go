@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+
+	"marioh/internal/baselines"
+	"marioh/internal/datasets"
+	"marioh/internal/downstream"
+	"marioh/internal/eval"
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+	"marioh/internal/linalg"
+)
+
+// downstreamMethodNames are the reconstruction methods compared in the
+// downstream-task tables (VII–IX); "Projected graph" and "Original
+// hypergraph" rows are added by the drivers.
+var downstreamMethodNames = []string{
+	"SHyRe-Unsup", "SHyRe-Motif", "SHyRe-Count", "MARIOH",
+}
+
+// downstreamInputs builds, for one dataset seed, the list of inputs the
+// downstream tables compare: the projected graph, each method's
+// reconstruction, and the ground truth.
+type downstreamInput struct {
+	name string
+	g    *graph.Graph           // always the target projection
+	h    *hypergraph.Hypergraph // nil for the projected-graph row
+	oot  bool
+}
+
+func buildDownstreamInputs(dsName string, seed int64, cfg RunConfig) []downstreamInput {
+	ds := datasets.MustByName(dsName, seed)
+	src, tgt := ds.Source.Reduced(), ds.Target.Reduced()
+	gT := tgt.Project()
+	methods := buildMethods(src, seed, cfg, downstreamMethodNames)
+	inputs := []downstreamInput{{name: "Projected graph G", g: gT}}
+	for _, m := range downstreamMethodNames {
+		rec, err := methods[m](gT)
+		in := downstreamInput{name: "H by " + m, g: gT, h: rec}
+		if err == baselines.ErrTimeout {
+			in.oot = true
+		}
+		inputs = append(inputs, in)
+	}
+	inputs = append(inputs, downstreamInput{name: "Original hypergraph H", g: gT, h: tgt})
+	return inputs
+}
+
+// downstreamRowNames returns the row labels in table order.
+func downstreamRowNames() []string {
+	rows := []string{"Projected graph G"}
+	for _, m := range downstreamMethodNames {
+		rows = append(rows, "H by "+m)
+	}
+	return append(rows, "Original hypergraph H")
+}
+
+// TableVII regenerates the node-clustering table: NMI of spectral
+// clustering on each input for the school contact datasets.
+func TableVII(cfg RunConfig) *Table {
+	cfg = cfg.defaults()
+	dsNames := []string{"pschool", "hschool"}
+	t := &Table{
+		Title:  "Table VII: node clustering (NMI, higher is better)",
+		Header: dsNames,
+	}
+	vals := make(map[string][][]float64)
+	oot := make(map[string][]bool)
+	for _, rn := range downstreamRowNames() {
+		vals[rn] = make([][]float64, len(dsNames))
+		oot[rn] = make([]bool, len(dsNames))
+	}
+	for col, dsName := range dsNames {
+		labels := datasets.MustByName(dsName, cfg.Seeds[0]).Labels
+		for _, seed := range cfg.Seeds {
+			for _, in := range buildDownstreamInputs(dsName, seed, cfg) {
+				if in.oot {
+					oot[in.name][col] = true
+					continue
+				}
+				nmi := downstream.ClusteringNMI(in.g, in.h, labels, seed)
+				vals[in.name][col] = append(vals[in.name][col], nmi)
+			}
+		}
+	}
+	fillRows(t, downstreamRowNames(), dsNames, vals, oot)
+	return t
+}
+
+// TableVIII regenerates the node-classification table: micro and macro F1
+// of an MLP on spectral embeddings for the school contact datasets.
+func TableVIII(cfg RunConfig) *Table {
+	cfg = cfg.defaults()
+	dsNames := []string{"pschool", "hschool"}
+	t := &Table{
+		Title:  "Table VIII: node classification (F1, higher is better)",
+		Header: []string{"Micro pschool", "Micro hschool", "Macro pschool", "Macro hschool"},
+	}
+	const embDim = 16
+	micro := make(map[string][][]float64)
+	macro := make(map[string][][]float64)
+	oot := make(map[string][]bool)
+	for _, rn := range downstreamRowNames() {
+		micro[rn] = make([][]float64, len(dsNames))
+		macro[rn] = make([][]float64, len(dsNames))
+		oot[rn] = make([]bool, len(dsNames))
+	}
+	for col, dsName := range dsNames {
+		labels := datasets.MustByName(dsName, cfg.Seeds[0]).Labels
+		for _, seed := range cfg.Seeds {
+			for _, in := range buildDownstreamInputs(dsName, seed, cfg) {
+				if in.oot {
+					oot[in.name][col] = true
+					continue
+				}
+				var emb = embeddingFor(in, embDim)
+				mi, ma := downstream.ClassificationF1(emb, labels, 3, seed)
+				micro[in.name][col] = append(micro[in.name][col], mi)
+				macro[in.name][col] = append(macro[in.name][col], ma)
+			}
+		}
+	}
+	for _, rn := range downstreamRowNames() {
+		cells := make([]Cell, 0, 4)
+		for _, m := range [][][]float64{micro[rn], macro[rn]} {
+			for col := range dsNames {
+				if len(m[col]) == 0 {
+					cells = append(cells, Cell{OOT: oot[rn][col], NA: !oot[rn][col]})
+					continue
+				}
+				mean, std := eval.MeanStd(m[col])
+				cells = append(cells, Cell{Mean: mean, Std: std})
+			}
+		}
+		t.AddRow(rn, cells...)
+	}
+	return t
+}
+
+func embeddingFor(in downstreamInput, dim int) *linalg.Matrix {
+	if in.h != nil {
+		return downstream.HypergraphEmbedding(in.h, dim)
+	}
+	return downstream.GraphEmbedding(in.g, dim)
+}
+
+// TableIX regenerates the link-prediction table: AUC with graph features
+// versus hypergraph-enriched features across all datasets.
+func TableIX(cfg RunConfig) *Table {
+	cfg = cfg.defaults()
+	t := &Table{
+		Title:  "Table IX: link prediction (AUC x100, higher is better)",
+		Header: cfg.Datasets,
+	}
+	rows := downstreamRowNames()
+	vals := make(map[string][][]float64)
+	oot := make(map[string][]bool)
+	for _, rn := range rows {
+		vals[rn] = make([][]float64, len(cfg.Datasets))
+		oot[rn] = make([]bool, len(cfg.Datasets))
+	}
+	for col, dsName := range cfg.Datasets {
+		for _, seed := range cfg.Seeds {
+			for _, in := range buildDownstreamInputs(dsName, seed, cfg) {
+				if in.oot {
+					oot[in.name][col] = true
+					continue
+				}
+				auc := downstream.LinkPredictionAUC(in.g, in.h, downstream.LinkPredOptions{Seed: seed})
+				vals[in.name][col] = append(vals[in.name][col], 100*auc)
+			}
+		}
+	}
+	fillRows(t, rows, cfg.Datasets, vals, oot)
+	addAvgRankColumn(t)
+	return t
+}
+
+// addAvgRankColumn appends the paper's "Avg. Rank" column: per dataset
+// column, rows are ranked by mean (higher is better, rank 1 best; OOT/NA
+// cells get the worst rank), then ranks are averaged per row.
+func addAvgRankColumn(t *Table) {
+	nCols := len(t.Header)
+	rankSums := make([]float64, len(t.Rows))
+	for col := 0; col < nCols; col++ {
+		type rv struct {
+			row  int
+			mean float64
+			ok   bool
+		}
+		vals := make([]rv, len(t.Rows))
+		for i, r := range t.Rows {
+			c := r.Cells[col]
+			vals[i] = rv{row: i, mean: c.Mean, ok: !c.OOT && !c.NA}
+		}
+		// Higher mean = better rank. Missing entries rank last.
+		order := make([]int, len(vals))
+		for i := range order {
+			order[i] = i
+		}
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0; j-- {
+				a, b := vals[order[j-1]], vals[order[j]]
+				worse := (!a.ok && b.ok) || (a.ok == b.ok && a.mean < b.mean)
+				if worse {
+					order[j-1], order[j] = order[j], order[j-1]
+				} else {
+					break
+				}
+			}
+		}
+		for rank, idx := range order {
+			rankSums[vals[idx].row] += float64(rank + 1)
+		}
+	}
+	t.Header = append(t.Header, "Avg. Rank")
+	for i := range t.Rows {
+		t.Rows[i].Cells = append(t.Rows[i].Cells,
+			Cell{Raw: fmt.Sprintf("%.2f", rankSums[i]/float64(nCols))})
+	}
+}
+
+// fillRows converts accumulated per-column samples into table rows.
+func fillRows(t *Table, rowNames, cols []string, vals map[string][][]float64, oot map[string][]bool) {
+	for _, rn := range rowNames {
+		cells := make([]Cell, len(cols))
+		for col := range cols {
+			if len(vals[rn][col]) == 0 {
+				cells[col] = Cell{OOT: oot[rn][col], NA: !oot[rn][col]}
+				continue
+			}
+			mean, std := eval.MeanStd(vals[rn][col])
+			cells[col] = Cell{Mean: mean, Std: std}
+		}
+		t.AddRow(rn, cells...)
+	}
+}

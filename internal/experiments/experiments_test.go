@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"marioh/internal/hypergraph"
+)
+
+// quickCfg keeps harness tests fast: tiny datasets, one seed, low epochs.
+func quickCfg(datasets ...string) RunConfig {
+	return RunConfig{
+		Seeds:    []int64{1},
+		Timeout:  8 * time.Second,
+		Datasets: datasets,
+		Quick:    true,
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "b"}}
+	tab.AddRow("m1", Cell{Mean: 1.5, Std: 0.1}, Cell{OOT: true})
+	tab.AddRow("m2", Cell{NA: true}, Cell{Raw: "x"})
+	out := tab.Render()
+	for _, want := range []string{"T", "m1", "1.50±0.10", "OOT", "-", "x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if got := tab.Cell("m1", 1); !got.OOT {
+		t.Fatal("Cell lookup failed")
+	}
+	if got := tab.Cell("nope", 0); !got.NA {
+		t.Fatal("missing row should be NA")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	tab := TableI(1)
+	if len(tab.Rows) != 10 {
+		t.Fatalf("Table I rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	tab := TableII(quickCfg("crime", "directors"))
+	if len(tab.Rows) != len(MethodNames) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(MethodNames))
+	}
+	// The paper's headline shape: MARIOH must be at least as good as every
+	// baseline on the easy, unambiguous datasets, and CFinder must not win.
+	for col := range tab.Header {
+		marioh := tab.Cell("MARIOH", col)
+		if marioh.Mean < 99 {
+			t.Errorf("MARIOH on %s = %v, want ≈ 100", tab.Header[col], marioh.Mean)
+		}
+		cf := tab.Cell("CFinder", col)
+		if cf.Mean > marioh.Mean {
+			t.Errorf("CFinder beat MARIOH on %s", tab.Header[col])
+		}
+	}
+}
+
+func TestTableIIIShape(t *testing.T) {
+	tab := TableIII(quickCfg("crime"))
+	if len(tab.Rows) != len(MultiplicityMethodNames) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if got := tab.Cell("MARIOH", 0); got.Mean < 95 {
+		t.Errorf("MARIOH multi-Jaccard on crime = %v", got.Mean)
+	}
+}
+
+func TestTableIVShape(t *testing.T) {
+	tab := TableIV(quickCfg("crime", "hosts"))
+	// 12 property rows + the overall average.
+	if len(tab.Rows) != 13 {
+		t.Fatalf("rows = %d, want 13", len(tab.Rows))
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last.Name != "Average (Overall)" {
+		t.Fatalf("last row = %q", last.Name)
+	}
+	// MARIOH's overall preservation error should be small on easy data.
+	mi := -1
+	for i, m := range structuralMethodNames {
+		if m == "MARIOH" {
+			mi = i
+		}
+	}
+	if c := last.Cells[mi]; c.NA || c.Mean > 0.3 {
+		t.Errorf("MARIOH overall error = %+v", c)
+	}
+}
+
+func TestTableVIShape(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Datasets = nil // TableVI uses its own dataset list
+	tab := TableVI(RunConfig{Seeds: []int64{1}, Timeout: 8 * time.Second, Quick: true})
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tab.Rows))
+	}
+	// 100% supervision should not be (much) worse than 10%.
+	full := tab.Cell("MARIOH (100%)", 1) // hosts column
+	ten := tab.Cell("MARIOH (10%)", 1)
+	if full.Mean+15 < ten.Mean {
+		t.Errorf("full supervision much worse than 10%%: %v vs %v", full.Mean, ten.Mean)
+	}
+}
+
+func TestCfinderKClamps(t *testing.T) {
+	small := quickHypergraph([][]int{{0, 1}, {2, 3}})
+	if k := cfinderK(small); k != 3 {
+		t.Fatalf("k = %d, want clamp to 3", k)
+	}
+}
+
+func quickHypergraph(edges [][]int) *hypergraph.Hypergraph {
+	h := hypergraph.New(10)
+	for _, e := range edges {
+		h.Add(e)
+	}
+	return h
+}

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"marioh/internal/baselines"
+	"marioh/internal/core"
+	"marioh/internal/datasets"
+	"marioh/internal/eval"
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+)
+
+// Short aliases keep the Fig4 prep struct readable.
+type (
+	graphAlias      = graph.Graph
+	hypergraphAlias = hypergraph.Hypergraph
+)
+
+// Fig4 regenerates the hyperparameter-sensitivity study: Jaccard (reduced
+// setting) and multi-Jaccard (preserved setting) as each of α, r and
+// θ_init sweeps its range while the others stay at the defaults. One table
+// per swept parameter; columns are the swept values, rows are datasets ×
+// {Jaccard, Multi-Jaccard}.
+func Fig4(cfg RunConfig) []*Table {
+	cfg = cfg.defaults()
+	dsNames := cfg.Datasets
+	if len(dsNames) > 3 {
+		dsNames = []string{"crime", "hosts", "pschool"}
+	}
+	seed := cfg.Seeds[0]
+
+	type sweep struct {
+		name   string
+		values []float64
+		apply  func(*core.Options, float64)
+		label  func(float64) string
+	}
+	sweeps := []sweep{
+		{
+			name:   "alpha",
+			values: []float64{1.0 / 5, 1.0 / 15, 1.0 / 25, 1.0 / 35},
+			apply:  func(o *core.Options, v float64) { o.Alpha = v },
+			label:  func(v float64) string { return fmt.Sprintf("1/%d", int(math.Round(1/v))) },
+		},
+		{
+			name:   "r",
+			values: []float64{20, 40, 60, 80, 100},
+			apply:  func(o *core.Options, v float64) { o.R = v },
+			label:  func(v float64) string { return fmt.Sprintf("%d%%", int(v)) },
+		},
+		{
+			name:   "theta_init",
+			values: []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+			apply:  func(o *core.Options, v float64) { o.ThetaInit = v },
+			label:  func(v float64) string { return fmt.Sprintf("%.1f", v) },
+		},
+	}
+
+	// Train the reduced- and preserved-setting models once per dataset;
+	// every sweep reuses them.
+	type prepped struct {
+		mR, mP   *core.Model
+		gR, gP   *graphAlias
+		tgtR     *hypergraphAlias
+		tgtMulti *hypergraphAlias
+	}
+	prep := make(map[string]prepped, len(dsNames))
+	for _, dsName := range dsNames {
+		ds := datasets.MustByName(dsName, seed)
+		srcR, tgtR := ds.Source.Reduced(), ds.Target.Reduced()
+		prep[dsName] = prepped{
+			mR:       core.Train(srcR.Project(), srcR, core.TrainOptions{Seed: seed, Epochs: cfg.epochs()}),
+			mP:       core.Train(ds.Source.Project(), ds.Source, core.TrainOptions{Seed: seed, Epochs: cfg.epochs()}),
+			gR:       tgtR.Project(),
+			gP:       ds.Target.Project(),
+			tgtR:     tgtR,
+			tgtMulti: ds.Target,
+		}
+	}
+
+	var out []*Table
+	for _, sw := range sweeps {
+		header := make([]string, len(sw.values))
+		for i, v := range sw.values {
+			header[i] = sw.label(v)
+		}
+		t := &Table{
+			Title:  "Fig 4: sensitivity to " + sw.name,
+			Header: header,
+		}
+		for _, dsName := range dsNames {
+			p := prep[dsName]
+			mR, mP, gR, gP, tgtR := p.mR, p.mP, p.gR, p.gP, p.tgtR
+
+			jc := make([]Cell, len(sw.values))
+			mj := make([]Cell, len(sw.values))
+			for i, v := range sw.values {
+				opt := core.Options{Seed: seed}
+				sw.apply(&opt, v)
+				res := core.Reconstruct(gR, mR, opt)
+				jc[i] = Cell{Raw: fmt.Sprintf("%.3f", eval.Jaccard(tgtR, res.Hypergraph))}
+				opt2 := core.Options{Seed: seed}
+				sw.apply(&opt2, v)
+				res2 := core.Reconstruct(gP, mP, opt2)
+				mj[i] = Cell{Raw: fmt.Sprintf("%.3f", eval.MultiJaccard(p.tgtMulti, res2.Hypergraph))}
+			}
+			t.AddRow(dsName+" Jaccard", jc...)
+			t.AddRow(dsName+" Multi-Jaccard", mj...)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig5 regenerates the average-runtime comparison: wall-clock seconds per
+// method, averaged over the datasets the method finishes within budget.
+func Fig5(cfg RunConfig) *Table {
+	cfg = cfg.defaults()
+	t := &Table{
+		Title:  "Fig 5: average runtime (seconds; reconstruction only)",
+		Header: []string{"Avg runtime (s)", "Datasets finished"},
+	}
+	seed := cfg.Seeds[0]
+	durs := make(map[string][]float64)
+	for _, dsName := range cfg.Datasets {
+		ds := datasets.MustByName(dsName, seed)
+		src, tgt := ds.Source.Reduced(), ds.Target.Reduced()
+		gT := tgt.Project()
+		methods := buildMethods(src, seed, cfg, MethodNames)
+		for _, m := range MethodNames {
+			t0 := time.Now()
+			_, err := methods[m](gT)
+			if err == baselines.ErrTimeout {
+				continue
+			}
+			durs[m] = append(durs[m], time.Since(t0).Seconds())
+		}
+	}
+	for _, m := range MethodNames {
+		if len(durs[m]) == 0 {
+			t.AddRow(m, Cell{OOT: true}, Cell{Raw: "0"})
+			continue
+		}
+		mean, _ := eval.MeanStd(durs[m])
+		t.AddRow(m,
+			Cell{Raw: fmt.Sprintf("%.3f", mean)},
+			Cell{Raw: fmt.Sprintf("%d/%d", len(durs[m]), len(cfg.Datasets))})
+	}
+	return t
+}
+
+// Fig6 regenerates the runtime breakdown of MARIOH versus SHyRe-Count:
+// per dataset, the time spent in load/sample, train, and the
+// inference-side steps (filtering + bidirectional search for MARIOH; the
+// classification pass for SHyRe-Count).
+func Fig6(cfg RunConfig) *Table {
+	cfg = cfg.defaults()
+	t := &Table{
+		Title: "Fig 6: runtime breakdown (seconds)",
+		Header: []string{
+			"SHyRe sample", "SHyRe train", "SHyRe infer",
+			"MARIOH sample", "MARIOH train", "MARIOH filter", "MARIOH bidir",
+		},
+	}
+	seed := cfg.Seeds[0]
+	for _, dsName := range cfg.Datasets {
+		ds := datasets.MustByName(dsName, seed)
+		src, tgt := ds.Source.Reduced(), ds.Target.Reduced()
+		gS, gT := src.Project(), tgt.Project()
+
+		sh := &baselines.Shyre{Seed: seed}
+		sh.Train(gS, src)
+		shModelStats := sh.TrainStats()
+		t0 := time.Now()
+		shCopy := *sh
+		shCopy.Deadline = time.Now().Add(cfg.Timeout)
+		_, shErr := shCopy.Reconstruct(gT)
+		shInfer := time.Since(t0).Seconds()
+
+		m := core.Train(gS, src, core.TrainOptions{Seed: seed, Epochs: cfg.epochs()})
+		res := core.Reconstruct(gT, m, core.Options{Seed: seed})
+
+		shInferCell := Cell{Raw: fmt.Sprintf("%.3f", shInfer)}
+		if shErr == baselines.ErrTimeout {
+			shInferCell = Cell{OOT: true}
+		}
+		t.AddRow(dsName,
+			Cell{Raw: fmt.Sprintf("%.3f", shModelStats.SampleTime.Seconds())},
+			Cell{Raw: fmt.Sprintf("%.3f", shModelStats.TrainTime.Seconds())},
+			shInferCell,
+			Cell{Raw: fmt.Sprintf("%.3f", m.Stats.SampleTime.Seconds())},
+			Cell{Raw: fmt.Sprintf("%.3f", m.Stats.TrainTime.Seconds())},
+			Cell{Raw: fmt.Sprintf("%.3f", res.Times.Filtering.Seconds())},
+			Cell{Raw: fmt.Sprintf("%.3f", res.Times.Bidirectional.Seconds())},
+		)
+	}
+	return t
+}
+
+// Fig7 regenerates the scalability study: HyperCL-generated graphs of
+// growing size (DBLP statistics), reporting the filtering and
+// bidirectional-search runtimes and the fitted log-log slope, which the
+// paper shows to be ≈ 1 (near-linear scaling).
+func Fig7(cfg RunConfig) *Table {
+	cfg = cfg.defaults()
+	factors := []float64{0.25, 0.5, 1, 2, 4}
+	if cfg.Quick {
+		factors = []float64{0.25, 0.5, 1}
+	}
+	seed := cfg.Seeds[0]
+	t := &Table{
+		Title:  "Fig 7: scalability on HyperCL (DBLP stats)",
+		Header: []string{"|E_G|", "Filter (s)", "Bidirectional (s)"},
+	}
+	// Train once on the real DBLP analog, as the paper does.
+	train := datasets.MustByName("dblp", seed)
+	src := train.Source.Reduced()
+	model := core.Train(src.Project(), src, core.TrainOptions{Seed: seed, Epochs: cfg.epochs()})
+
+	var logE, logF, logB []float64
+	for _, f := range factors {
+		h := datasets.DBLPLikeHyperCL(f, seed)
+		g := h.Project()
+		res := core.Reconstruct(g, model, core.Options{Seed: seed})
+		t.AddRow(fmt.Sprintf("x%.2g", f),
+			Cell{Raw: fmt.Sprintf("%d", g.NumEdges())},
+			Cell{Raw: fmt.Sprintf("%.4f", res.Times.Filtering.Seconds())},
+			Cell{Raw: fmt.Sprintf("%.4f", res.Times.Bidirectional.Seconds())},
+		)
+		logE = append(logE, math.Log(float64(g.NumEdges())))
+		logF = append(logF, math.Log(math.Max(res.Times.Filtering.Seconds(), 1e-6)))
+		logB = append(logB, math.Log(math.Max(res.Times.Bidirectional.Seconds(), 1e-6)))
+	}
+	t.AddRow("log-log slope",
+		Cell{Raw: "-"},
+		Cell{Raw: fmt.Sprintf("%.2f", slope(logE, logF))},
+		Cell{Raw: fmt.Sprintf("%.2f", slope(logE, logB))},
+	)
+	return t
+}
+
+// slope returns the least-squares slope of y against x.
+func slope(x, y []float64) float64 {
+	n := float64(len(x))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}

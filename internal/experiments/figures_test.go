@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFig4Shape(t *testing.T) {
+	tables := Fig4(quickCfg("crime"))
+	if len(tables) != 3 {
+		t.Fatalf("Fig4 returned %d tables, want 3 (alpha, r, theta)", len(tables))
+	}
+	for _, tab := range tables {
+		// One Jaccard and one multi-Jaccard row per dataset.
+		if len(tab.Rows) != 2 {
+			t.Fatalf("%s: rows = %d, want 2", tab.Title, len(tab.Rows))
+		}
+		for _, r := range tab.Rows {
+			if len(r.Cells) != len(tab.Header) {
+				t.Fatalf("%s: ragged row %q", tab.Title, r.Name)
+			}
+			// Crime is easy at every hyperparameter setting.
+			for i, c := range r.Cells {
+				v, err := strconv.ParseFloat(c.Raw, 64)
+				if err != nil {
+					t.Fatalf("%s: cell %d not a number: %q", tab.Title, i, c.Raw)
+				}
+				if v < 0.8 {
+					t.Errorf("%s %s @%s = %v, want ≥ 0.8", tab.Title, r.Name, tab.Header[i], v)
+				}
+			}
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tab := Fig5(quickCfg("crime", "directors"))
+	if len(tab.Rows) != len(MethodNames) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Cells) != 2 {
+			t.Fatalf("row %q has %d cells", r.Name, len(r.Cells))
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tab := Fig6(quickCfg("crime"))
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if len(tab.Rows[0].Cells) != 7 {
+		t.Fatalf("cells = %d, want 7 breakdown segments", len(tab.Rows[0].Cells))
+	}
+}
+
+func TestFig7ScalesNearLinearly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability sweep is slow")
+	}
+	tab := Fig7(quickCfg())
+	last := tab.Rows[len(tab.Rows)-1]
+	if last.Name != "log-log slope" {
+		t.Fatalf("missing slope row: %q", last.Name)
+	}
+	// The paper reports slope ≈ 1; allow a generous band since quick mode
+	// uses only three sizes and small absolute times.
+	for i, c := range last.Cells[1:] {
+		slope, err := strconv.ParseFloat(c.Raw, 64)
+		if err != nil {
+			t.Fatalf("slope cell %d: %q", i, c.Raw)
+		}
+		if slope < 0.3 || slope > 2.5 {
+			t.Errorf("log-log slope %d = %v, want near-linear", i, slope)
+		}
+	}
+}
+
+func TestTableVIIOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("clustering experiment is slow")
+	}
+	tab := TableVII(RunConfig{Seeds: []int64{1}, Quick: true, Timeout: quickCfg().Timeout})
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	// All NMI values must be valid probabilities-ish.
+	for _, r := range tab.Rows {
+		for i, c := range r.Cells {
+			if c.OOT || c.NA {
+				continue
+			}
+			if c.Mean < 0 || c.Mean > 1.0001 {
+				t.Errorf("%s col %d NMI = %v", r.Name, i, c.Mean)
+			}
+		}
+	}
+}
+
+func TestTableIXShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("link prediction is slow")
+	}
+	tab := TableIX(quickCfg("crime"))
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Title, "AUC") {
+		t.Fatal("title should mention AUC")
+	}
+}

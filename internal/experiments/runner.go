@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"marioh/internal/baselines"
+	"marioh/internal/core"
+	"marioh/internal/datasets"
+	"marioh/internal/features"
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+)
+
+// RunConfig controls experiment cost so the same drivers serve both the
+// full cmd/benchall run and the quick root-level benchmarks.
+type RunConfig struct {
+	// Seeds are the dataset/reconstruction seeds averaged over; default
+	// {1, 2, 3}.
+	Seeds []int64
+	// Timeout is the per-(method, dataset, seed) reconstruction budget;
+	// methods exceeding it are reported as OOT, mirroring the paper's 24 h
+	// budget at laptop scale. Default 20 s.
+	Timeout time.Duration
+	// Datasets restricts the dataset columns; default: the paper's ten.
+	Datasets []string
+	// Quick halves training epochs and skips the slowest baselines where a
+	// table allows it.
+	Quick bool
+}
+
+func (c RunConfig) defaults() RunConfig {
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{1, 2, 3}
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 20 * time.Second
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = datasets.TableINames()
+	}
+	return c
+}
+
+func (c RunConfig) epochs() int {
+	if c.Quick {
+		return 25
+	}
+	return 60
+}
+
+// reconstructor runs one method against a target projected graph.
+type reconstructor func(g *graph.Graph) (*hypergraph.Hypergraph, error)
+
+// MethodNames is the Table II method order.
+var MethodNames = []string{
+	"CFinder", "Demon", "MaxClique", "CliqueCovering", "Bayesian-MDL",
+	"SHyRe-Unsup", "SHyRe-Motif", "SHyRe-Count",
+	"MARIOH-M", "MARIOH-F", "MARIOH-B", "MARIOH",
+}
+
+// MultiplicityMethodNames is the Table III method order (only methods that
+// can emit hyperedge multiplicities).
+var MultiplicityMethodNames = []string{
+	"Bayesian-MDL", "SHyRe-Unsup", "MARIOH-M", "MARIOH-F", "MARIOH-B", "MARIOH",
+}
+
+// buildMethods trains every supervised method on the dataset's source half
+// and returns reconstructors keyed by method name. Only the methods in
+// `which` are built (nil = all). Shared classifiers are trained once: the
+// MARIOH/-F/-B variants share the multiplicity-aware model, MARIOH-M uses
+// the SHyRe-Count featurizer inside the MARIOH search.
+func buildMethods(src *hypergraph.Hypergraph, seed int64, cfg RunConfig, which []string) map[string]reconstructor {
+	wanted := make(map[string]bool)
+	if which == nil {
+		which = MethodNames
+	}
+	for _, w := range which {
+		wanted[w] = true
+	}
+	out := make(map[string]reconstructor, len(which))
+	gSrc := src.Project()
+
+	needMariohModel := wanted["MARIOH"] || wanted["MARIOH-F"] || wanted["MARIOH-B"]
+	var mariohModel, mariohM *core.Model
+	if needMariohModel {
+		mariohModel = core.Train(gSrc, src, core.TrainOptions{Seed: seed, Epochs: cfg.epochs()})
+	}
+	if wanted["MARIOH-M"] {
+		mariohM = core.Train(gSrc, src, core.TrainOptions{
+			Featurizer: features.ShyreCount{}, Seed: seed, Epochs: cfg.epochs(),
+		})
+	}
+	mariohRec := func(m *core.Model, opt core.Options) reconstructor {
+		return func(g *graph.Graph) (*hypergraph.Hypergraph, error) {
+			res := core.Reconstruct(g, m, opt)
+			return res.Hypergraph, nil
+		}
+	}
+	if wanted["MARIOH"] {
+		out["MARIOH"] = mariohRec(mariohModel, core.Options{Seed: seed})
+	}
+	if wanted["MARIOH-F"] {
+		out["MARIOH-F"] = mariohRec(mariohModel, core.Options{Seed: seed, DisableFiltering: true})
+	}
+	if wanted["MARIOH-B"] {
+		out["MARIOH-B"] = mariohRec(mariohModel, core.Options{Seed: seed, DisableBidirectional: true})
+	}
+	if wanted["MARIOH-M"] {
+		out["MARIOH-M"] = mariohRec(mariohM, core.Options{Seed: seed})
+	}
+	if wanted["SHyRe-Count"] {
+		sh := &baselines.Shyre{Seed: seed}
+		sh.Train(gSrc, src)
+		out["SHyRe-Count"] = func(g *graph.Graph) (*hypergraph.Hypergraph, error) {
+			sh2 := *sh
+			sh2.Deadline = time.Now().Add(cfg.Timeout)
+			return sh2.Reconstruct(g)
+		}
+	}
+	if wanted["SHyRe-Motif"] {
+		sh := &baselines.Shyre{Motif: true, Seed: seed}
+		sh.Train(gSrc, src)
+		out["SHyRe-Motif"] = func(g *graph.Graph) (*hypergraph.Hypergraph, error) {
+			sh2 := *sh
+			sh2.Deadline = time.Now().Add(cfg.Timeout)
+			return sh2.Reconstruct(g)
+		}
+	}
+	if wanted["SHyRe-Unsup"] {
+		out["SHyRe-Unsup"] = func(g *graph.Graph) (*hypergraph.Hypergraph, error) {
+			return baselines.ShyreUnsup{Deadline: time.Now().Add(cfg.Timeout)}.Reconstruct(g)
+		}
+	}
+	if wanted["Bayesian-MDL"] {
+		out["Bayesian-MDL"] = func(g *graph.Graph) (*hypergraph.Hypergraph, error) {
+			return baselines.BayesianMDL{Seed: seed, Deadline: time.Now().Add(cfg.Timeout)}.Reconstruct(g)
+		}
+	}
+	if wanted["MaxClique"] {
+		out["MaxClique"] = func(g *graph.Graph) (*hypergraph.Hypergraph, error) {
+			return baselines.MaxClique{}.Reconstruct(g)
+		}
+	}
+	if wanted["CliqueCovering"] {
+		out["CliqueCovering"] = func(g *graph.Graph) (*hypergraph.Hypergraph, error) {
+			return baselines.CliqueCovering{}.Reconstruct(g)
+		}
+	}
+	if wanted["Demon"] {
+		out["Demon"] = func(g *graph.Graph) (*hypergraph.Hypergraph, error) {
+			return baselines.Demon{Deadline: time.Now().Add(cfg.Timeout)}.Reconstruct(g)
+		}
+	}
+	if wanted["CFinder"] {
+		k := cfinderK(src)
+		out["CFinder"] = func(g *graph.Graph) (*hypergraph.Hypergraph, error) {
+			return baselines.CFinder{K: k, Deadline: time.Now().Add(cfg.Timeout)}.Reconstruct(g)
+		}
+	}
+	return out
+}
+
+// cfinderK picks the percolation clique size from the 0.3 quantile of the
+// source hyperedge sizes, clamped to [3, 6] — the paper selects k within
+// the [0.1, 0.5] size-quantile range.
+func cfinderK(src *hypergraph.Hypergraph) int {
+	sizes := src.EdgeSizes()
+	if len(sizes) == 0 {
+		return 3
+	}
+	sort.Ints(sizes)
+	k := sizes[len(sizes)*3/10]
+	if k < 3 {
+		k = 3
+	}
+	if k > 6 {
+		k = 6
+	}
+	return k
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+
+	"marioh/internal/datasets"
+)
+
+func TestBuildMethodsSubset(t *testing.T) {
+	ds := datasets.MustByName("crime", 1)
+	src := ds.Source.Reduced()
+	cfg := quickCfg("crime")
+	methods := buildMethods(src, 1, cfg, []string{"MaxClique", "MARIOH"})
+	if len(methods) != 2 {
+		t.Fatalf("built %d methods, want 2", len(methods))
+	}
+	for _, name := range []string{"MaxClique", "MARIOH"} {
+		if methods[name] == nil {
+			t.Fatalf("method %s missing", name)
+		}
+	}
+	if methods["Demon"] != nil {
+		t.Fatal("unrequested method built")
+	}
+}
+
+func TestBuildMethodsAll(t *testing.T) {
+	ds := datasets.MustByName("crime", 1)
+	src := ds.Source.Reduced()
+	methods := buildMethods(src, 1, quickCfg("crime"), nil)
+	if len(methods) != len(MethodNames) {
+		t.Fatalf("built %d methods, want %d", len(methods), len(MethodNames))
+	}
+	gT := ds.Target.Reduced().Project()
+	for _, name := range MethodNames {
+		rec, err := methods[name](gT)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rec == nil {
+			t.Fatalf("%s returned nil hypergraph", name)
+		}
+	}
+}
+
+func TestMariohVariantsShareModelButDiffer(t *testing.T) {
+	// The -F and -B variants must be wired to different Options than the
+	// full method: on a dataset where ablations matter they may produce
+	// different outputs, but at minimum they must all run and consume the
+	// graph fully.
+	ds := datasets.MustByName("hosts", 2)
+	src, tgt := ds.Source.Reduced(), ds.Target.Reduced()
+	methods := buildMethods(src, 2, quickCfg("hosts"),
+		[]string{"MARIOH", "MARIOH-F", "MARIOH-B", "MARIOH-M"})
+	gT := tgt.Project()
+	want := gT.TotalWeight()
+	for name, m := range methods {
+		rec, err := m(gT)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := rec.Project().TotalWeight(); got != want {
+			t.Errorf("%s: projection weight %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestRunConfigDefaults(t *testing.T) {
+	cfg := RunConfig{}.defaults()
+	if len(cfg.Seeds) != 3 || cfg.Timeout <= 0 || len(cfg.Datasets) != 10 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if cfg.epochs() != 60 {
+		t.Fatalf("epochs = %d", cfg.epochs())
+	}
+	cfg.Quick = true
+	if cfg.epochs() != 25 {
+		t.Fatalf("quick epochs = %d", cfg.epochs())
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"marioh/internal/baselines"
+	"marioh/internal/datasets"
+	"marioh/internal/eval"
+	"marioh/internal/hypergraph"
+)
+
+// structuralMethodNames is the Table IV method set.
+var structuralMethodNames = []string{
+	"Bayesian-MDL", "SHyRe-Count", "SHyRe-Motif", "SHyRe-Unsup", "MARIOH",
+}
+
+// propertyNames lists the 12 structural properties of Table IV in order:
+// 7 scalar (normalized difference) + 5 distributional (KS D-statistic).
+var propertyNames = []string{
+	"Number of Nodes", "Number of Hyperedges", "Average Node Degree",
+	"Average Hyperedge Size", "Simplicial Closure Ratio",
+	"Hypergraph Density", "Hypergraph Overlapness",
+	"Node Degree", "Node-Pair Degree", "Node-Triple Degree",
+	"Hyperedge Homogeneity", "Singular Values",
+}
+
+// structuralErrors returns the 12 preservation errors of a reconstruction
+// against the ground truth, in propertyNames order.
+func structuralErrors(truth, rec *hypergraph.Hypergraph) []float64 {
+	ts, rs := truth.Scalars(), rec.Scalars()
+	out := []float64{
+		eval.NormalizedDiff(ts.NumNodes, rs.NumNodes),
+		eval.NormalizedDiff(ts.NumHyperedges, rs.NumHyperedges),
+		eval.NormalizedDiff(ts.AvgNodeDegree, rs.AvgNodeDegree),
+		eval.NormalizedDiff(ts.AvgEdgeSize, rs.AvgEdgeSize),
+		eval.NormalizedDiff(ts.SimplicialClosureRatio, rs.SimplicialClosureRatio),
+		eval.NormalizedDiff(ts.Density, rs.Density),
+		eval.NormalizedDiff(ts.Overlapness, rs.Overlapness),
+		eval.KSStatistic(truth.NodeDegreeDist(), rec.NodeDegreeDist()),
+		eval.KSStatistic(truth.NodePairDegreeDist(), rec.NodePairDegreeDist()),
+		eval.KSStatistic(truth.NodeTripleDegreeDist(), rec.NodeTripleDegreeDist()),
+		eval.KSStatistic(truth.HomogeneityDist(), rec.HomogeneityDist()),
+		eval.KSStatistic(truth.SingularValues(10), rec.SingularValues(10)),
+	}
+	return out
+}
+
+// TableIV regenerates the structural-preservation table: for every method,
+// the mean ± std (across datasets) of each property's preservation error,
+// plus the overall average. Lower is better. Datasets where a method runs
+// out of time are skipped for that method, as in the paper.
+func TableIV(cfg RunConfig) *Table {
+	cfg = cfg.defaults()
+	t := &Table{
+		Title:  "Table IV: preservation of structural properties (lower is better)",
+		Header: structuralMethodNames,
+	}
+	// errs[method][property] = per-dataset values
+	errs := make(map[string][][]float64)
+	for _, m := range structuralMethodNames {
+		errs[m] = make([][]float64, len(propertyNames))
+	}
+	seed := cfg.Seeds[0]
+	for _, dsName := range cfg.Datasets {
+		ds := datasets.MustByName(dsName, seed)
+		src, tgt := ds.Source.Reduced(), ds.Target.Reduced()
+		gT := tgt.Project()
+		methods := buildMethods(src, seed, cfg, structuralMethodNames)
+		for _, m := range structuralMethodNames {
+			rec, err := methods[m](gT)
+			if err == baselines.ErrTimeout {
+				continue
+			}
+			for p, e := range structuralErrors(tgt, rec) {
+				errs[m][p] = append(errs[m][p], e)
+			}
+		}
+	}
+	// Rows = properties, columns = methods (the paper's orientation).
+	for p, prop := range propertyNames {
+		cells := make([]Cell, len(structuralMethodNames))
+		for mi, m := range structuralMethodNames {
+			if len(errs[m][p]) == 0 {
+				cells[mi] = Cell{NA: true}
+				continue
+			}
+			mean, std := eval.MeanStd(errs[m][p])
+			cells[mi] = Cell{Mean: mean, Std: std}
+		}
+		t.AddRow(prop, cells...)
+	}
+	// Overall average row.
+	cells := make([]Cell, len(structuralMethodNames))
+	for mi, m := range structuralMethodNames {
+		var all []float64
+		for p := range propertyNames {
+			if len(errs[m][p]) > 0 {
+				mean, _ := eval.MeanStd(errs[m][p])
+				all = append(all, mean)
+			}
+		}
+		if len(all) == 0 {
+			cells[mi] = Cell{NA: true}
+			continue
+		}
+		mean, std := eval.MeanStd(all)
+		cells[mi] = Cell{Mean: mean, Std: std}
+	}
+	t.AddRow("Average (Overall)", cells...)
+	return t
+}

@@ -1,0 +1,103 @@
+// Package experiments contains one driver per table and figure of the
+// MARIOH paper's evaluation section. Each driver regenerates the same rows
+// the paper reports — methods × datasets with mean ± std over seeds, "OOT"
+// markers for methods that exceed their time budget — so that cmd/benchall
+// and the root-level benchmarks can print paper-shaped output.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cell is one table entry: a mean ± std, or a marker.
+type Cell struct {
+	Mean, Std float64
+	OOT       bool // out of time (exceeded the harness deadline)
+	NA        bool // not applicable (method not defined for the setting)
+	Raw       string
+}
+
+// FmtCell renders a cell the way the paper prints accuracy values
+// (scaled by 100 where the driver chooses to).
+func (c Cell) String() string {
+	switch {
+	case c.Raw != "":
+		return c.Raw
+	case c.OOT:
+		return "OOT"
+	case c.NA:
+		return "-"
+	default:
+		return fmt.Sprintf("%.2f±%.2f", c.Mean, c.Std)
+	}
+}
+
+// Row is a named table row.
+type Row struct {
+	Name  string
+	Cells []Cell
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   []Row
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(name string, cells ...Cell) {
+	t.Rows = append(t.Rows, Row{Name: name, Cells: cells})
+}
+
+// Cell returns the cell at (row name, column index) or a zero Cell.
+func (t *Table) Cell(rowName string, col int) Cell {
+	for _, r := range t.Rows {
+		if r.Name == rowName && col < len(r.Cells) {
+			return r.Cells[col]
+		}
+	}
+	return Cell{NA: true}
+}
+
+// Render prints the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Header)+1)
+	widths[0] = len("Method")
+	for _, r := range t.Rows {
+		if len(r.Name) > widths[0] {
+			widths[0] = len(r.Name)
+		}
+	}
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(r.Cells))
+		for j, c := range r.Cells {
+			cells[i][j] = c.String()
+			if j+1 < len(widths) && len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+	for j, h := range t.Header {
+		if len(h) > widths[j+1] {
+			widths[j+1] = len(h)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", widths[0]+2, "Method")
+	for j, h := range t.Header {
+		fmt.Fprintf(&b, "%*s", widths[j+1]+2, h)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", widths[0]+2, r.Name)
+		for j := range r.Cells {
+			fmt.Fprintf(&b, "%*s", widths[j+1]+2, cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+
+	"marioh/internal/baselines"
+	"marioh/internal/core"
+	"marioh/internal/datasets"
+	"marioh/internal/eval"
+)
+
+// TableI regenerates the dataset-summary table: |V|, |E_H|, avg M_H for
+// the hypergraph and |E_G|, avg ω for its projection, per dataset analog.
+func TableI(seed int64) *Table {
+	t := &Table{
+		Title:  "Table I: dataset summary (synthetic analogs)",
+		Header: []string{"|V|", "|E_H|", "Avg. M_H", "|E_G|", "Avg. w"},
+	}
+	for _, name := range datasets.TableINames() {
+		ds := datasets.MustByName(name, seed)
+		g := ds.Full.Project()
+		avgW := 0.0
+		if g.NumEdges() > 0 {
+			avgW = float64(g.TotalWeight()) / float64(g.NumEdges())
+		}
+		t.AddRow(name,
+			Cell{Raw: fmt.Sprintf("%d", ds.Full.NumNodes())},
+			Cell{Raw: fmt.Sprintf("%d", ds.Full.NumUnique())},
+			Cell{Raw: fmt.Sprintf("%.2f", ds.Full.AvgMultiplicity())},
+			Cell{Raw: fmt.Sprintf("%d", g.NumEdges())},
+			Cell{Raw: fmt.Sprintf("%.2f", avgW)},
+		)
+	}
+	return t
+}
+
+// accuracyTable is the shared engine behind Tables II and III: it runs the
+// given methods on every dataset column and fills mean ± std of the metric
+// over seeds. reduced selects the multiplicity-reduced setting (Jaccard)
+// versus the multiplicity-preserved one (multi-Jaccard); values are scaled
+// by 100 like the paper's tables.
+func accuracyTable(title string, methodNames []string, reduced bool, cfg RunConfig) *Table {
+	cfg = cfg.defaults()
+	t := &Table{Title: title, Header: cfg.Datasets}
+	vals := make(map[string][][]float64) // method -> column -> per-seed values
+	oot := make(map[string][]bool)
+	for _, m := range methodNames {
+		vals[m] = make([][]float64, len(cfg.Datasets))
+		oot[m] = make([]bool, len(cfg.Datasets))
+	}
+	for col, dsName := range cfg.Datasets {
+		for _, seed := range cfg.Seeds {
+			ds := datasets.MustByName(dsName, seed)
+			src, tgt := ds.Source, ds.Target
+			if reduced {
+				src, tgt = src.Reduced(), tgt.Reduced()
+			}
+			gT := tgt.Project()
+			methods := buildMethods(src, seed, cfg, methodNames)
+			for _, m := range methodNames {
+				rec, err := methods[m](gT)
+				if err == baselines.ErrTimeout {
+					oot[m][col] = true
+					continue
+				}
+				var v float64
+				if reduced {
+					v = eval.Jaccard(tgt, rec)
+				} else {
+					v = eval.MultiJaccard(tgt, rec)
+				}
+				vals[m][col] = append(vals[m][col], 100*v)
+			}
+		}
+	}
+	for _, m := range methodNames {
+		cells := make([]Cell, len(cfg.Datasets))
+		for col := range cfg.Datasets {
+			if len(vals[m][col]) == 0 {
+				cells[col] = Cell{OOT: oot[m][col], NA: !oot[m][col]}
+				continue
+			}
+			mean, std := eval.MeanStd(vals[m][col])
+			cells[col] = Cell{Mean: mean, Std: std}
+		}
+		t.AddRow(m, cells...)
+	}
+	return t
+}
+
+// TableII regenerates the multiplicity-reduced reconstruction-accuracy
+// table (Jaccard × 100, all twelve methods).
+func TableII(cfg RunConfig) *Table {
+	return accuracyTable(
+		"Table II: reconstruction accuracy, multiplicity-reduced (Jaccard x100)",
+		MethodNames, true, cfg)
+}
+
+// TableIII regenerates the multiplicity-preserved reconstruction-accuracy
+// table (multi-Jaccard × 100, multiplicity-capable methods only).
+func TableIII(cfg RunConfig) *Table {
+	return accuracyTable(
+		"Table III: reconstruction accuracy, multiplicity-preserved (multi-Jaccard x100)",
+		MultiplicityMethodNames, false, cfg)
+}
+
+// transferPairs defines the Table V source→target mapping on our analogs.
+var transferPairs = []struct{ src, dst string }{
+	{"dblp", "dblp"},
+	{"dblp", "mag-history"},
+	{"dblp", "mag-topcs"},
+	{"dblp", "mag-geology"},
+	{"eu", "eu"},
+	{"eu", "enron"},
+	{"pschool", "pschool"},
+	{"pschool", "hschool"},
+}
+
+// TableV regenerates the transfer-learning table: supervised methods are
+// trained on one dataset's source half and evaluated on a different
+// dataset's target half within the same domain.
+func TableV(cfg RunConfig) *Table {
+	cfg = cfg.defaults()
+	pairs := transferPairs
+	if cfg.Quick {
+		// Quick mode drops the expensive DBLP-sourced columns.
+		pairs = pairs[4:]
+	}
+	header := make([]string, len(pairs))
+	for i, p := range pairs {
+		header[i] = p.src + "->" + p.dst
+	}
+	t := &Table{
+		Title:  "Table V: transfer learning (Jaccard x100)",
+		Header: header,
+	}
+	methodNames := []string{"SHyRe-Unsup", "SHyRe-Motif", "SHyRe-Count", "MARIOH"}
+	vals := make(map[string][][]float64)
+	oot := make(map[string][]bool)
+	for _, m := range methodNames {
+		vals[m] = make([][]float64, len(pairs))
+		oot[m] = make([]bool, len(pairs))
+	}
+	for col, p := range pairs {
+		for _, seed := range cfg.Seeds {
+			srcDS := datasets.MustByName(p.src, seed)
+			dstDS := datasets.MustByName(p.dst, seed+100) // distinct generation
+			src := srcDS.Source.Reduced()
+			tgt := dstDS.Target.Reduced()
+			gT := tgt.Project()
+			methods := buildMethods(src, seed, cfg, methodNames)
+			for _, m := range methodNames {
+				rec, err := methods[m](gT)
+				if err == baselines.ErrTimeout {
+					oot[m][col] = true
+					continue
+				}
+				vals[m][col] = append(vals[m][col], 100*eval.Jaccard(tgt, rec))
+			}
+		}
+	}
+	for _, m := range methodNames {
+		cells := make([]Cell, len(pairs))
+		for col := range pairs {
+			if len(vals[m][col]) == 0 {
+				cells[col] = Cell{OOT: oot[m][col], NA: !oot[m][col]}
+				continue
+			}
+			mean, std := eval.MeanStd(vals[m][col])
+			cells[col] = Cell{Mean: mean, Std: std}
+		}
+		t.AddRow(m, cells...)
+	}
+	return t
+}
+
+// TableVI regenerates the semi-supervised table: MARIOH trained with 10%,
+// 20%, 50% and 100% of the source hyperedges on DBLP, Hosts and Enron,
+// against fully-supervised baselines.
+func TableVI(cfg RunConfig) *Table {
+	cfg = cfg.defaults()
+	dsNames := []string{"dblp", "hosts", "enron"}
+	if cfg.Quick {
+		dsNames = []string{"hosts", "enron"} // skip the expensive DBLP column
+	}
+	t := &Table{
+		Title:  "Table VI: semi-supervised learning (Jaccard x100)",
+		Header: dsNames,
+	}
+	baselineNames := []string{"Bayesian-MDL", "SHyRe-Motif", "SHyRe-Count"}
+	ratios := []float64{0.1, 0.2, 0.5, 1.0}
+
+	type key struct {
+		row string
+		col int
+	}
+	vals := make(map[key][]float64)
+	oots := make(map[key]bool)
+	for col, dsName := range dsNames {
+		for _, seed := range cfg.Seeds {
+			ds := datasets.MustByName(dsName, seed)
+			src, tgt := ds.Source.Reduced(), ds.Target.Reduced()
+			gT := tgt.Project()
+			methods := buildMethods(src, seed, cfg, baselineNames)
+			for _, m := range baselineNames {
+				rec, err := methods[m](gT)
+				k := key{m, col}
+				if err == baselines.ErrTimeout {
+					oots[k] = true
+					continue
+				}
+				vals[k] = append(vals[k], 100*eval.Jaccard(tgt, rec))
+			}
+			gS := src.Project()
+			for _, r := range ratios {
+				model := core.Train(gS, src, core.TrainOptions{
+					Seed: seed, Epochs: cfg.epochs(), SupervisionRatio: r,
+				})
+				res := core.Reconstruct(gT, model, core.Options{Seed: seed})
+				k := key{fmt.Sprintf("MARIOH (%d%%)", int(r*100)), col}
+				vals[k] = append(vals[k], 100*eval.Jaccard(tgt, res.Hypergraph))
+			}
+		}
+	}
+	rowNames := append(append([]string{}, baselineNames...),
+		"MARIOH (10%)", "MARIOH (20%)", "MARIOH (50%)", "MARIOH (100%)")
+	for _, rn := range rowNames {
+		cells := make([]Cell, len(dsNames))
+		for col := range dsNames {
+			k := key{rn, col}
+			if len(vals[k]) == 0 {
+				cells[col] = Cell{OOT: oots[k], NA: !oots[k]}
+				continue
+			}
+			mean, std := eval.MeanStd(vals[k])
+			cells[col] = Cell{Mean: mean, Std: std}
+		}
+		t.AddRow(rn, cells...)
+	}
+	return t
+}

@@ -1,0 +1,224 @@
+// Package features implements the clique feature representations used by
+// the classifiers in this repository: MARIOH's multiplicity-aware features
+// (Sect. III-D of the paper) and the structural feature sets of the
+// SHyRe-Count and SHyRe-Motif baselines (Wang & Kleinberg, ICLR 2024),
+// which deliberately ignore edge multiplicity.
+//
+// All featurizers consume a clique of the (possibly residual) projected
+// graph plus a flag telling whether the clique is maximal, and emit a
+// fixed-width float vector. Node- and edge-level feature families are
+// summarized into five aggregates each — sum, mean, min, max, and standard
+// deviation — exactly as the paper prescribes.
+package features
+
+import (
+	"math"
+
+	"marioh/internal/graph"
+)
+
+// Featurizer turns a clique into a fixed-width feature vector.
+type Featurizer interface {
+	// Name identifies the featurizer in logs and serialized models.
+	Name() string
+	// Dim is the feature vector width.
+	Dim() int
+	// Features computes the vector for clique Q of g. maximal tells whether
+	// Q is a maximal clique of the graph it was enumerated from.
+	Features(g *graph.Graph, clique []int, maximal bool) []float64
+}
+
+// aggStats appends the five-dimensional aggregate (sum, mean, min, max,
+// std) of vals to dst and returns dst. Empty input yields five zeros.
+func aggStats(dst []float64, vals []float64) []float64 {
+	if len(vals) == 0 {
+		return append(dst, 0, 0, 0, 0, 0)
+	}
+	sum, mn, mx := 0.0, vals[0], vals[0]
+	for _, v := range vals {
+		sum += v
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	mean := sum / float64(len(vals))
+	varr := 0.0
+	for _, v := range vals {
+		d := v - mean
+		varr += d * d
+	}
+	std := math.Sqrt(varr / float64(len(vals)))
+	return append(dst, sum, mean, mn, mx, std)
+}
+
+// Marioh is the multiplicity-aware featurizer of the MARIOH paper:
+//
+//   - node level: weighted degree of each clique node              → 5 dims
+//   - edge level: ω(u,v), MHH(u,v), MHH(u,v)/ω(u,v) per clique edge → 15 dims
+//   - clique level: |Q|, clique cut ratio, maximality indicator    → 3 dims
+//
+// for a total of 23 dimensions.
+type Marioh struct{}
+
+// Name implements Featurizer.
+func (Marioh) Name() string { return "marioh" }
+
+// Dim implements Featurizer.
+func (Marioh) Dim() int { return 23 }
+
+// Features implements Featurizer.
+func (Marioh) Features(g *graph.Graph, q []int, maximal bool) []float64 {
+	out := make([]float64, 0, 23)
+
+	nodeVals := make([]float64, len(q))
+	sumWDeg := 0.0
+	for i, u := range q {
+		wd := float64(g.WeightedDegree(u))
+		nodeVals[i] = wd
+		sumWDeg += wd
+	}
+	out = aggStats(out, nodeVals)
+
+	nEdges := len(q) * (len(q) - 1) / 2
+	omega := make([]float64, 0, nEdges)
+	mhh := make([]float64, 0, nEdges)
+	ratio := make([]float64, 0, nEdges)
+	internal := 0.0
+	for i := 0; i < len(q); i++ {
+		for j := i + 1; j < len(q); j++ {
+			w := float64(g.Weight(q[i], q[j]))
+			m := float64(g.SumMinCommonWeight(q[i], q[j]))
+			omega = append(omega, w)
+			mhh = append(mhh, m)
+			if w > 0 {
+				ratio = append(ratio, m/w)
+			} else {
+				ratio = append(ratio, 0)
+			}
+			internal += w
+		}
+	}
+	out = aggStats(out, omega)
+	out = aggStats(out, mhh)
+	out = aggStats(out, ratio)
+
+	out = append(out, float64(len(q)))
+	out = append(out, cutRatio(internal, sumWDeg))
+	if maximal {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// cutRatio is the clique cut ratio: the proportion of edge multiplicity
+// inside the clique relative to the total edge multiplicity touching the
+// clique's nodes. Internal edges are counted twice in the weighted-degree
+// sum, so the denominator subtracts one copy to count each incident edge
+// exactly once.
+func cutRatio(internal, sumWDeg float64) float64 {
+	den := sumWDeg - internal
+	if den <= 0 {
+		return 1
+	}
+	return internal / den
+}
+
+// ShyreCount reproduces the multiplicity-blind structural ("count")
+// features of SHyRe-Count:
+//
+//   - clique size and maximality indicator                → 2 dims
+//   - unweighted node degrees                             → 5 dims
+//   - per-edge common-neighbor counts                     → 5 dims
+//   - unweighted cut ratio                                → 1 dim
+//
+// for a total of 13 dimensions. MARIOH-M plugs this featurizer into the
+// MARIOH search to ablate the multiplicity-aware features.
+type ShyreCount struct{}
+
+// Name implements Featurizer.
+func (ShyreCount) Name() string { return "shyre-count" }
+
+// Dim implements Featurizer.
+func (ShyreCount) Dim() int { return 13 }
+
+// Features implements Featurizer.
+func (ShyreCount) Features(g *graph.Graph, q []int, maximal bool) []float64 {
+	out := make([]float64, 0, 13)
+	out = append(out, float64(len(q)))
+	if maximal {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	deg := make([]float64, len(q))
+	sumDeg := 0.0
+	for i, u := range q {
+		deg[i] = float64(g.Degree(u))
+		sumDeg += deg[i]
+	}
+	out = aggStats(out, deg)
+	cn := commonNeighborCounts(g, q)
+	out = aggStats(out, cn)
+	internal := float64(len(q) * (len(q) - 1) / 2)
+	out = append(out, cutRatio(internal, sumDeg))
+	return out
+}
+
+func commonNeighborCounts(g *graph.Graph, q []int) []float64 {
+	var cn []float64
+	for i := 0; i < len(q); i++ {
+		for j := i + 1; j < len(q); j++ {
+			cn = append(cn, float64(len(g.CommonNeighbors(q[i], q[j]))))
+		}
+	}
+	return cn
+}
+
+// ShyreMotif extends ShyreCount with local motif statistics, following
+// SHyRe-Motif's use of triangle and square (4-cycle) patterns around the
+// candidate clique:
+//
+//   - per-edge triangle counts (= common neighbors)        → shared with count
+//   - per-edge 4-cycle counts C(cn, 2) through each edge   → 5 extra dims
+//
+// for a total of 18 dimensions.
+type ShyreMotif struct{}
+
+// Name implements Featurizer.
+func (ShyreMotif) Name() string { return "shyre-motif" }
+
+// Dim implements Featurizer.
+func (ShyreMotif) Dim() int { return 18 }
+
+// Features implements Featurizer.
+func (ShyreMotif) Features(g *graph.Graph, q []int, maximal bool) []float64 {
+	base := ShyreCount{}.Features(g, q, maximal)
+	var squares []float64
+	for i := 0; i < len(q); i++ {
+		for j := i + 1; j < len(q); j++ {
+			cn := float64(len(g.CommonNeighbors(q[i], q[j])))
+			squares = append(squares, cn*(cn-1)/2)
+		}
+	}
+	return aggStats(base, squares)
+}
+
+// ByName returns the featurizer registered under the given name.
+func ByName(name string) (Featurizer, bool) {
+	switch name {
+	case "marioh":
+		return Marioh{}, true
+	case "marioh-nomhh":
+		return MariohNoMHH{}, true
+	case "shyre-count":
+		return ShyreCount{}, true
+	case "shyre-motif":
+		return ShyreMotif{}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,48 @@
+package features
+
+import "marioh/internal/graph"
+
+// MariohNoMHH is an ablation featurizer for the paper's Sect. IV-E study
+// of alternative clique representations: MARIOH's features with the two
+// MHH-derived families (MHH and MHH/ω) removed, leaving node weighted
+// degrees, raw edge multiplicities, and the clique-level scalars
+// (13 dimensions). Comparing it against the full set isolates how much of
+// MARIOH's accuracy comes from the higher-order bound rather than from
+// raw multiplicities.
+type MariohNoMHH struct{}
+
+// Name implements Featurizer.
+func (MariohNoMHH) Name() string { return "marioh-nomhh" }
+
+// Dim implements Featurizer.
+func (MariohNoMHH) Dim() int { return 13 }
+
+// Features implements Featurizer.
+func (MariohNoMHH) Features(g *graph.Graph, q []int, maximal bool) []float64 {
+	out := make([]float64, 0, 13)
+	nodeVals := make([]float64, len(q))
+	sumWDeg := 0.0
+	for i, u := range q {
+		wd := float64(g.WeightedDegree(u))
+		nodeVals[i] = wd
+		sumWDeg += wd
+	}
+	out = aggStats(out, nodeVals)
+	omega := make([]float64, 0, len(q)*(len(q)-1)/2)
+	internal := 0.0
+	for i := 0; i < len(q); i++ {
+		for j := i + 1; j < len(q); j++ {
+			w := float64(g.Weight(q[i], q[j]))
+			omega = append(omega, w)
+			internal += w
+		}
+	}
+	out = aggStats(out, omega)
+	out = append(out, float64(len(q)), cutRatio(internal, sumWDeg))
+	if maximal {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+// Package gcn implements the two-layer Graph Convolutional Network used
+// by the paper's link-prediction experiment (Table IX) to produce link
+// embeddings, from scratch on the linalg substrate.
+//
+// The architecture follows the paper's setup: one-hot node features, two
+// graph-convolution layers with symmetric normalization
+// Â = D̃^{−1/2}(A+I)D̃^{−1/2}, ReLU between layers, and a dot-product link
+// decoder trained with binary cross-entropy on edges versus sampled
+// non-edges. With one-hot inputs the first layer's weight matrix is an
+// n×d free embedding table, so the forward pass is
+//
+//	Z = Â · ReLU(Â · W0) · W1
+//
+// and a link (u, v) scores σ(z_u · z_v). Training runs full-batch Adam;
+// everything is deterministic for a fixed seed.
+package gcn
+
+import (
+	"math"
+	"math/rand"
+
+	"marioh/internal/graph"
+	"marioh/internal/linalg"
+)
+
+// Model is a trained two-layer GCN link-embedding model.
+type Model struct {
+	W0, W1 *linalg.Matrix // n×h and h×d parameter matrices
+	ahat   *linalg.Sparse
+	z      *linalg.Matrix // cached final embeddings
+}
+
+// Options configure Train.
+type Options struct {
+	// Hidden and Out are the two layer widths; defaults 32 and 16.
+	Hidden, Out int
+	// Epochs of full-batch Adam; default 120.
+	Epochs int
+	// LR is the Adam step size; default 0.01.
+	LR float64
+	// NegPerEdge non-edges are sampled per training edge; default 1.
+	NegPerEdge int
+	Seed       int64
+}
+
+func (o *Options) defaults() {
+	if o.Hidden <= 0 {
+		o.Hidden = 32
+	}
+	if o.Out <= 0 {
+		o.Out = 16
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 120
+	}
+	if o.LR <= 0 {
+		o.LR = 0.01
+	}
+	if o.NegPerEdge <= 0 {
+		o.NegPerEdge = 1
+	}
+}
+
+// Normalized builds Â = D̃^{−1/2}(A+I)D̃^{−1/2} for a weighted graph.
+func Normalized(g *graph.Graph) *linalg.Sparse {
+	n := g.NumNodes()
+	deg := make([]float64, n)
+	for u := 0; u < n; u++ {
+		deg[u] = 1 // self-loop
+		g.NeighborWeights(u, func(_, w int) { deg[u] += float64(w) })
+	}
+	inv := make([]float64, n)
+	for u, d := range deg {
+		inv[u] = 1 / math.Sqrt(d)
+	}
+	var entries []linalg.Triple
+	for u := 0; u < n; u++ {
+		entries = append(entries, linalg.Triple{Row: u, Col: u, Val: inv[u] * inv[u]})
+		g.NeighborWeights(u, func(v, w int) {
+			entries = append(entries, linalg.Triple{Row: u, Col: v, Val: float64(w) * inv[u] * inv[v]})
+		})
+	}
+	return linalg.NewSparseFromTriples(n, n, entries)
+}
+
+// Train fits the GCN on g's edges against sampled non-edges and returns a
+// model whose Embedding rows are the final node embeddings.
+func Train(g *graph.Graph, opts Options) *Model {
+	opts.defaults()
+	n := g.NumNodes()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	m := &Model{
+		W0:   glorot(n, opts.Hidden, rng),
+		W1:   glorot(opts.Hidden, opts.Out, rng),
+		ahat: Normalized(g),
+	}
+
+	type pair struct {
+		u, v  int
+		label float64
+	}
+	var pairs []pair
+	for _, e := range g.Edges() {
+		pairs = append(pairs, pair{e.U, e.V, 1})
+		for k := 0; k < opts.NegPerEdge; k++ {
+			for {
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a != b && !g.HasEdge(a, b) {
+					pairs = append(pairs, pair{a, b, 0})
+					break
+				}
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		m.z = m.forward(nil)
+		return m
+	}
+
+	ad0 := newAdamState(m.W0)
+	ad1 := newAdamState(m.W1)
+	for ep := 0; ep < opts.Epochs; ep++ {
+		// Forward.
+		p := m.ahat.MulDense(m.W0) // n×h
+		h1 := p.Clone()
+		reluInPlace(h1)
+		q := m.ahat.MulDense(h1) // n×h
+		z := linalg.Mul(q, m.W1) // n×d
+
+		// Loss gradient w.r.t. Z from the dot-product decoder.
+		dz := linalg.NewMatrix(z.Rows, z.Cols)
+		for _, pr := range pairs {
+			zu, zv := z.Row(pr.u), z.Row(pr.v)
+			s := sigmoid(linalg.Dot(zu, zv))
+			gscale := s - pr.label
+			du, dv := dz.Row(pr.u), dz.Row(pr.v)
+			for j := range zu {
+				du[j] += gscale * zv[j]
+				dv[j] += gscale * zu[j]
+			}
+		}
+		inv := 1 / float64(len(pairs))
+		for i := range dz.Data {
+			dz.Data[i] *= inv
+		}
+
+		// Backward.
+		dW1 := linalg.Mul(linalg.Transpose(q), dz)
+		dq := linalg.Mul(dz, linalg.Transpose(m.W1))
+		dh1 := m.ahat.MulDense(dq) // Âᵀ = Â
+		for i := range dh1.Data {
+			if p.Data[i] <= 0 {
+				dh1.Data[i] = 0
+			}
+		}
+		dW0 := m.ahat.MulDense(dh1)
+
+		ad0.step(m.W0, dW0, opts.LR)
+		ad1.step(m.W1, dW1, opts.LR)
+	}
+	m.z = m.forward(nil)
+	return m
+}
+
+// forward recomputes the final embeddings from the current weights.
+func (m *Model) forward(_ []float64) *linalg.Matrix {
+	p := m.ahat.MulDense(m.W0)
+	reluInPlace(p)
+	q := m.ahat.MulDense(p)
+	return linalg.Mul(q, m.W1)
+}
+
+// Embedding returns the final embedding of node u (a view; do not modify).
+func (m *Model) Embedding(u int) []float64 { return m.z.Row(u) }
+
+// Embeddings returns the n×d embedding matrix (a view; do not modify).
+func (m *Model) Embeddings() *linalg.Matrix { return m.z }
+
+// Score returns σ(z_u · z_v), the model's link probability.
+func (m *Model) Score(u, v int) float64 {
+	return sigmoid(linalg.Dot(m.z.Row(u), m.z.Row(v)))
+}
+
+func glorot(in, out int, rng *rand.Rand) *linalg.Matrix {
+	m := linalg.NewMatrix(in, out)
+	scale := math.Sqrt(6 / float64(in+out))
+	for i := range m.Data {
+		m.Data[i] = (2*rng.Float64() - 1) * scale
+	}
+	return m
+}
+
+func reluInPlace(m *linalg.Matrix) {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// adamState carries Adam moments for one parameter matrix.
+type adamState struct {
+	m, v   []float64
+	t      int
+	b1, b2 float64
+}
+
+func newAdamState(p *linalg.Matrix) *adamState {
+	return &adamState{
+		m: make([]float64, len(p.Data)), v: make([]float64, len(p.Data)),
+		b1: 0.9, b2: 0.999,
+	}
+}
+
+func (a *adamState) step(p, grad *linalg.Matrix, lr float64) {
+	a.t++
+	c1 := 1 - math.Pow(a.b1, float64(a.t))
+	c2 := 1 - math.Pow(a.b2, float64(a.t))
+	for i := range p.Data {
+		g := grad.Data[i]
+		a.m[i] = a.b1*a.m[i] + (1-a.b1)*g
+		a.v[i] = a.b2*a.v[i] + (1-a.b2)*g*g
+		p.Data[i] -= lr * (a.m[i] / c1) / (math.Sqrt(a.v[i]/c2) + 1e-8)
+	}
+}

@@ -1,0 +1,116 @@
+package gcn
+
+import (
+	"math"
+	"testing"
+
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+	"marioh/internal/linalg"
+)
+
+func TestNormalizedRowsSumSensibly(t *testing.T) {
+	g := graph.New(3)
+	g.AddWeight(0, 1, 1)
+	g.AddWeight(1, 2, 1)
+	ahat := Normalized(g)
+	if ahat.NNZ() != 3+4 { // 3 self-loops + 4 directed edge entries
+		t.Fatalf("NNZ = %d", ahat.NNZ())
+	}
+	// Â must be symmetric.
+	vals := map[[2]int]float64{}
+	ahat.Each(func(r, c int, v float64) { vals[[2]int{r, c}] = v })
+	for rc, v := range vals {
+		if w, ok := vals[[2]int{rc[1], rc[0]}]; !ok || math.Abs(v-w) > 1e-12 {
+			t.Fatalf("asymmetric at %v: %v vs %v", rc, v, w)
+		}
+	}
+	// Known value: node 0 has degree 1+1 self-loop = 2 → Â[0,0] = 1/2.
+	if math.Abs(vals[[2]int{0, 0}]-0.5) > 1e-12 {
+		t.Fatalf("Â[0,0] = %v, want 0.5", vals[[2]int{0, 0}])
+	}
+}
+
+func TestTrainSeparatesCommunities(t *testing.T) {
+	// Two 5-cliques joined by one bridge: GCN link scores inside blocks
+	// must beat scores across blocks.
+	h := hypergraph.New(10)
+	h.Add([]int{0, 1, 2, 3, 4})
+	h.Add([]int{5, 6, 7, 8, 9})
+	g := h.Project()
+	g.AddWeight(4, 5, 1)
+	m := Train(g, Options{Seed: 1, Epochs: 150})
+
+	intra := m.Score(0, 2) + m.Score(6, 8)
+	inter := m.Score(0, 9) + m.Score(1, 7)
+	if intra <= inter {
+		t.Fatalf("intra %v ≤ inter %v", intra, inter)
+	}
+	// Known positive edges should score above 0.5 on average.
+	avg := 0.0
+	edges := g.Edges()
+	for _, e := range edges {
+		avg += m.Score(e.U, e.V)
+	}
+	avg /= float64(len(edges))
+	if avg < 0.5 {
+		t.Fatalf("average edge score %v < 0.5", avg)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	g := graph.New(6)
+	g.AddWeight(0, 1, 1)
+	g.AddWeight(1, 2, 2)
+	g.AddWeight(3, 4, 1)
+	g.AddWeight(4, 5, 1)
+	a := Train(g, Options{Seed: 7, Epochs: 30})
+	b := Train(g, Options{Seed: 7, Epochs: 30})
+	for u := 0; u < 6; u++ {
+		ea, eb := a.Embedding(u), b.Embedding(u)
+		for j := range ea {
+			if ea[j] != eb[j] {
+				t.Fatal("same seed produced different embeddings")
+			}
+		}
+	}
+}
+
+func TestEmbeddingShape(t *testing.T) {
+	g := graph.New(4)
+	g.AddWeight(0, 1, 1)
+	m := Train(g, Options{Seed: 1, Epochs: 5, Hidden: 8, Out: 3})
+	if e := m.Embeddings(); e.Rows != 4 || e.Cols != 3 {
+		t.Fatalf("embedding shape %dx%d", e.Rows, e.Cols)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.New(3)
+	m := Train(g, Options{Seed: 1, Epochs: 5})
+	if m.Embeddings().Rows != 3 {
+		t.Fatal("embeddings missing for isolated nodes")
+	}
+}
+
+func TestSparseMulDenseAgainstDense(t *testing.T) {
+	entries := []linalg.Triple{
+		{Row: 0, Col: 1, Val: 2},
+		{Row: 1, Col: 0, Val: 3},
+		{Row: 1, Col: 1, Val: -1},
+		{Row: 0, Col: 1, Val: 1}, // duplicate of (0,1): sums to 3
+	}
+	s := NewTestSparse(2, 2, entries)
+	d := linalg.NewMatrix(2, 2)
+	d.Set(0, 0, 1)
+	d.Set(1, 1, 1)
+	got := s.MulDense(d)
+	if got.At(0, 1) != 3 || got.At(1, 0) != 3 || got.At(1, 1) != -1 {
+		t.Fatalf("sparse mul wrong: %+v", got.Data)
+	}
+}
+
+// NewTestSparse re-exports the constructor for the sparse test above.
+func NewTestSparse(r, c int, e []linalg.Triple) *linalg.Sparse {
+	return linalg.NewSparseFromTriples(r, c, e)
+}

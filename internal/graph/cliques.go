@@ -1,0 +1,266 @@
+package graph
+
+import "sort"
+
+// DegeneracyOrdering returns the nodes in a degeneracy ordering (repeatedly
+// removing a minimum-degree node) together with the graph's degeneracy. The
+// ordering makes Bron–Kerbosch run in O(d · n · 3^(d/3)) for degeneracy d.
+func (g *Graph) DegeneracyOrdering() (order []int, degeneracy int) {
+	n := len(g.adj)
+	deg := make([]int, n)
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		deg[u] = len(g.adj[u])
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+	// Bucket queue over current degrees.
+	buckets := make([][]int, maxDeg+1)
+	pos := make([]int, n) // index of u within buckets[deg[u]]
+	for u := 0; u < n; u++ {
+		pos[u] = len(buckets[deg[u]])
+		buckets[deg[u]] = append(buckets[deg[u]], u)
+	}
+	removed := make([]bool, n)
+	order = make([]int, 0, n)
+	cur := 0
+	for len(order) < n {
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur > maxDeg {
+			break
+		}
+		b := buckets[cur]
+		u := b[len(b)-1]
+		buckets[cur] = b[:len(b)-1]
+		if removed[u] {
+			continue
+		}
+		removed[u] = true
+		order = append(order, u)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for v := range g.adj[u] {
+			if removed[v] {
+				continue
+			}
+			d := deg[v]
+			// Lazy deletion: just push v into the lower bucket and let the
+			// stale entry be skipped via the removed/deg checks.
+			bv := buckets[d]
+			i := pos[v]
+			if i < len(bv) && bv[i] == v {
+				last := len(bv) - 1
+				bv[i] = bv[last]
+				pos[bv[i]] = i
+				buckets[d] = bv[:last]
+			} else {
+				// Stale position; find and remove (rare).
+				for j, w := range bv {
+					if w == v {
+						last := len(bv) - 1
+						bv[j] = bv[last]
+						pos[bv[j]] = j
+						buckets[d] = bv[:last]
+						break
+					}
+				}
+			}
+			deg[v] = d - 1
+			pos[v] = len(buckets[d-1])
+			buckets[d-1] = append(buckets[d-1], v)
+			if d-1 < cur {
+				cur = d - 1
+			}
+		}
+	}
+	return order, degeneracy
+}
+
+// MaximalCliques enumerates every maximal clique with at least minSize
+// nodes, using Bron–Kerbosch with max-degree pivoting over a degeneracy
+// ordering. Cliques are returned as sorted node slices in a deterministic
+// order. Isolated nodes never appear (a clique needs ≥ 2 nodes to matter for
+// reconstruction, and minSize is clamped to ≥ 1).
+func (g *Graph) MaximalCliques(minSize int) [][]int {
+	return g.MaximalCliquesLimit(minSize, -1)
+}
+
+// MaximalCliquesLimit behaves like MaximalCliques but stops after emitting
+// limit cliques (limit < 0 means no limit).
+func (g *Graph) MaximalCliquesLimit(minSize, limit int) [][]int {
+	if minSize < 1 {
+		minSize = 1
+	}
+	var out [][]int
+	g.EachMaximalClique(minSize, func(c []int) bool {
+		cc := make([]int, len(c))
+		copy(cc, c)
+		out = append(out, cc)
+		return limit < 0 || len(out) < limit
+	})
+	sort.Slice(out, func(i, j int) bool { return lessIntSlice(out[i], out[j]) })
+	return out
+}
+
+// EachMaximalClique calls fn with every maximal clique of size ≥ minSize.
+// The slice passed to fn is reused between calls; copy it to retain it.
+// Enumeration stops early when fn returns false.
+func (g *Graph) EachMaximalClique(minSize int, fn func(clique []int) bool) {
+	order, _ := g.DegeneracyOrdering()
+	rank := make([]int, len(g.adj))
+	for i, u := range order {
+		rank[u] = i
+	}
+	e := &bkEnum{g: g, minSize: minSize, fn: fn}
+	for _, u := range order {
+		if e.stopped {
+			return
+		}
+		var p, x []int
+		for v := range g.adj[u] {
+			if rank[v] > rank[u] {
+				p = append(p, v)
+			} else {
+				x = append(x, v)
+			}
+		}
+		e.r = append(e.r[:0], u)
+		e.expand(p, x)
+	}
+}
+
+type bkEnum struct {
+	g       *Graph
+	minSize int
+	fn      func([]int) bool
+	r       []int
+	stopped bool
+}
+
+func (e *bkEnum) expand(p, x []int) {
+	if e.stopped {
+		return
+	}
+	if len(p) == 0 && len(x) == 0 {
+		if len(e.r) >= e.minSize {
+			c := make([]int, len(e.r))
+			copy(c, e.r)
+			sort.Ints(c)
+			if !e.fn(c) {
+				e.stopped = true
+			}
+		}
+		return
+	}
+	// Pivot: vertex of P ∪ X with the most neighbors in P.
+	pivot, best := -1, -1
+	for _, cand := range [2][]int{p, x} {
+		for _, u := range cand {
+			cnt := 0
+			for _, v := range p {
+				if e.g.HasEdge(u, v) {
+					cnt++
+				}
+			}
+			if cnt > best {
+				best, pivot = cnt, u
+			}
+		}
+	}
+	// Iterate over P \ N(pivot).
+	cand := make([]int, 0, len(p))
+	for _, v := range p {
+		if pivot < 0 || !e.g.HasEdge(pivot, v) {
+			cand = append(cand, v)
+		}
+	}
+	sort.Ints(cand) // determinism
+	pset := make(map[int]bool, len(p))
+	for _, v := range p {
+		pset[v] = true
+	}
+	xset := make(map[int]bool, len(x))
+	for _, v := range x {
+		xset[v] = true
+	}
+	for _, v := range cand {
+		if e.stopped {
+			return
+		}
+		var np, nx []int
+		for w := range e.g.adj[v] {
+			if pset[w] {
+				np = append(np, w)
+			} else if xset[w] {
+				nx = append(nx, w)
+			}
+		}
+		e.r = append(e.r, v)
+		e.expand(np, nx)
+		e.r = e.r[:len(e.r)-1]
+		delete(pset, v)
+		xset[v] = true
+	}
+}
+
+// KCliques enumerates all cliques of exactly k nodes (not necessarily
+// maximal), as sorted node slices in lexicographic order. If limit ≥ 0,
+// enumeration stops after limit cliques. This powers the CFinder
+// (k-clique percolation) baseline.
+func (g *Graph) KCliques(k, limit int) [][]int {
+	if k < 1 {
+		return nil
+	}
+	var out [][]int
+	cur := make([]int, 0, k)
+	// rec extends cur with nodes from cands (all adjacent to every node in
+	// cur, all larger than the last node of cur). Returns false to stop.
+	var rec func(cands []int) bool
+	rec = func(cands []int) bool {
+		if len(cur) == k {
+			c := make([]int, k)
+			copy(c, cur)
+			out = append(out, c)
+			return limit < 0 || len(out) < limit
+		}
+		for i, v := range cands {
+			if len(cands)-i < k-len(cur) {
+				return true // not enough candidates remain
+			}
+			cur = append(cur, v)
+			var next []int
+			for _, w := range cands[i+1:] {
+				if g.HasEdge(v, w) {
+					next = append(next, w)
+				}
+			}
+			ok := rec(next)
+			cur = cur[:len(cur)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	all := make([]int, 0, len(g.adj))
+	for u := 0; u < len(g.adj); u++ {
+		if len(g.adj[u]) >= k-1 {
+			all = append(all, u)
+		}
+	}
+	rec(all)
+	return out
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,343 @@
+// Package graph implements the weighted undirected graph substrate used by
+// every reconstruction method in this repository.
+//
+// A Graph stores, for each unordered node pair {u, v}, an integer weight
+// ω(u, v) ≥ 1 called the edge multiplicity: the number of hyperedges of the
+// original hypergraph that contain both u and v (see the clique-expansion
+// projection in internal/hypergraph). The package provides the primitives
+// the MARIOH paper relies on: weighted adjacency with O(1) edge updates,
+// neighbor intersection, degeneracy ordering, Bron–Kerbosch maximal-clique
+// enumeration with pivoting, and fixed-size clique enumeration for the
+// CFinder baseline.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a weighted undirected edge with U < V.
+type Edge struct {
+	U, V int
+	W    int
+}
+
+// Graph is a weighted undirected graph over nodes 0..NumNodes()-1.
+// Self-loops are forbidden. A zero-weight pair is, by definition, a
+// non-edge: AddWeight removes the pair once its weight reaches zero.
+type Graph struct {
+	adj         []map[int]int
+	numEdges    int
+	totalWeight int
+}
+
+// New returns an empty graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{adj: make([]map[int]int, n)}
+}
+
+// NumNodes returns the number of nodes (isolated nodes included).
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of node pairs with positive weight.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// TotalWeight returns the sum of ω(u, v) over all edges.
+func (g *Graph) TotalWeight() int { return g.totalWeight }
+
+// EnsureNodes grows the node set so that it contains at least n nodes.
+func (g *Graph) EnsureNodes(n int) {
+	for len(g.adj) < n {
+		g.adj = append(g.adj, nil)
+	}
+}
+
+func (g *Graph) check(u int) {
+	if u < 0 || u >= len(g.adj) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, len(g.adj)))
+	}
+}
+
+// Weight returns ω(u, v), or 0 if {u, v} is not an edge.
+func (g *Graph) Weight(u, v int) int {
+	g.check(u)
+	g.check(v)
+	if g.adj[u] == nil {
+		return 0
+	}
+	return g.adj[u][v]
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return g.Weight(u, v) > 0 }
+
+// AddWeight adds delta (which may be negative) to ω(u, v). The pair becomes
+// an edge when its weight turns positive and stops being one when the weight
+// returns to zero. AddWeight panics if the result would be negative or if
+// u == v.
+func (g *Graph) AddWeight(u, v, delta int) {
+	if u == v {
+		panic("graph: self-loop")
+	}
+	g.check(u)
+	g.check(v)
+	if delta == 0 {
+		return
+	}
+	old := 0
+	if g.adj[u] != nil {
+		old = g.adj[u][v]
+	}
+	nw := old + delta
+	if nw < 0 {
+		panic(fmt.Sprintf("graph: weight of {%d,%d} would become %d", u, v, nw))
+	}
+	switch {
+	case old == 0 && nw > 0:
+		if g.adj[u] == nil {
+			g.adj[u] = make(map[int]int)
+		}
+		if g.adj[v] == nil {
+			g.adj[v] = make(map[int]int)
+		}
+		g.adj[u][v] = nw
+		g.adj[v][u] = nw
+		g.numEdges++
+	case old > 0 && nw == 0:
+		delete(g.adj[u], v)
+		delete(g.adj[v], u)
+		g.numEdges--
+	default:
+		g.adj[u][v] = nw
+		g.adj[v][u] = nw
+	}
+	g.totalWeight += delta
+}
+
+// SetWeight sets ω(u, v) to w exactly.
+func (g *Graph) SetWeight(u, v, w int) {
+	g.AddWeight(u, v, w-g.Weight(u, v))
+}
+
+// RemoveEdge deletes the edge {u, v} regardless of its current weight.
+func (g *Graph) RemoveEdge(u, v int) {
+	w := g.Weight(u, v)
+	if w > 0 {
+		g.AddWeight(u, v, -w)
+	}
+}
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// WeightedDegree returns the sum of ω(u, v) over the neighbors v of u —
+// the node-level feature used by the MARIOH classifier.
+func (g *Graph) WeightedDegree(u int) int {
+	g.check(u)
+	s := 0
+	for _, w := range g.adj[u] {
+		s += w
+	}
+	return s
+}
+
+// Neighbors returns the neighbors of u in ascending order.
+func (g *Graph) Neighbors(u int) []int {
+	g.check(u)
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NeighborWeights calls fn for every neighbor v of u with ω(u, v).
+// Iteration order is unspecified; fn must not mutate the graph.
+func (g *Graph) NeighborWeights(u int, fn func(v, w int)) {
+	g.check(u)
+	for v, w := range g.adj[u] {
+		fn(v, w)
+	}
+}
+
+// Edges returns all edges with U < V, sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.numEdges)
+	for u := range g.adj {
+		for v, w := range g.adj[u] {
+			if u < v {
+				out = append(out, Edge{U: u, V: v, W: w})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(len(g.adj))
+	c.numEdges = g.numEdges
+	c.totalWeight = g.totalWeight
+	for u, m := range g.adj {
+		if m == nil {
+			continue
+		}
+		cm := make(map[int]int, len(m))
+		for v, w := range m {
+			cm[v] = w
+		}
+		c.adj[u] = cm
+	}
+	return c
+}
+
+// CommonNeighbors returns the sorted intersection N(u) ∩ N(v).
+func (g *Graph) CommonNeighbors(u, v int) []int {
+	g.check(u)
+	g.check(v)
+	a, b := g.adj[u], g.adj[v]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var out []int
+	for z := range a {
+		if _, ok := b[z]; ok {
+			out = append(out, z)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SumMinCommonWeight returns Σ_{z ∈ N(u)∩N(v)} min(ω(u,z), ω(v,z)).
+// In MARIOH this quantity is MHH(u, v): the maximum possible number of
+// hyperedges of size ≥ 3 containing both u and v (Lemma 1 of the paper).
+func (g *Graph) SumMinCommonWeight(u, v int) int {
+	g.check(u)
+	g.check(v)
+	a, b := g.adj[u], g.adj[v]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	s := 0
+	for z, wa := range a {
+		if z == u || z == v {
+			continue
+		}
+		if wb, ok := b[z]; ok {
+			if wa < wb {
+				s += wa
+			} else {
+				s += wb
+			}
+		}
+	}
+	return s
+}
+
+// IsClique reports whether every pair of distinct nodes in the given set is
+// an edge. The empty set and singletons are cliques by convention.
+func (g *Graph) IsClique(nodes []int) bool {
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if !g.HasEdge(nodes[i], nodes[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ConnectedComponents returns the node sets of the connected components,
+// each sorted ascending, ordered by their smallest node. Isolated nodes form
+// singleton components.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := len(g.adj)
+	seen := make([]bool, n)
+	var comps [][]int
+	stack := make([]int, 0, 64)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		stack = append(stack[:0], s)
+		comp := []int{}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Triangles calls fn for every triangle a < b < c in the graph. If fn
+// returns false, enumeration stops early.
+func (g *Graph) Triangles(fn func(a, b, c int) bool) {
+	n := len(g.adj)
+	for a := 0; a < n; a++ {
+		na := g.Neighbors(a)
+		for i, b := range na {
+			if b <= a {
+				continue
+			}
+			for _, c := range na[i+1:] {
+				if c > b && g.HasEdge(b, c) {
+					if !fn(a, b, c) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// CountTriangles returns the number of triangles in the graph.
+func (g *Graph) CountTriangles() int {
+	n := 0
+	g.Triangles(func(_, _, _ int) bool { n++; return true })
+	return n
+}
+
+// Subgraph returns the induced subgraph on the given nodes, relabeled
+// 0..len(nodes)-1 in the order given, together with the mapping back to the
+// original node ids.
+func (g *Graph) Subgraph(nodes []int) (*Graph, []int) {
+	idx := make(map[int]int, len(nodes))
+	for i, u := range nodes {
+		idx[u] = i
+	}
+	sub := New(len(nodes))
+	for i, u := range nodes {
+		for v, w := range g.adj[u] {
+			if j, ok := idx[v]; ok && i < j {
+				sub.AddWeight(i, j, w)
+			}
+		}
+	}
+	back := make([]int, len(nodes))
+	copy(back, nodes)
+	return sub, back
+}

@@ -1,0 +1,47 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := New(7)
+	g.AddWeight(0, 3, 4)
+	g.AddWeight(1, 2, 1)
+	var sb strings.Builder
+	if err := g.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 7 {
+		t.Fatalf("nodes = %d, want 7 (header)", got.NumNodes())
+	}
+	if got.Weight(0, 3) != 4 || got.Weight(1, 2) != 1 {
+		t.Fatal("weights lost in round trip")
+	}
+	if got.NumEdges() != 2 {
+		t.Fatalf("edges = %d", got.NumEdges())
+	}
+}
+
+func TestReadDefaultsWeight(t *testing.T) {
+	g, err := Read(strings.NewReader("0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(0, 1) != 1 {
+		t.Fatal("missing weight should default to 1")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, in := range []string{"0", "0 1 2 3", "a 1", "0 b", "0 1 -2"} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q should fail", in)
+		}
+	}
+}

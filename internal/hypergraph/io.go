@@ -1,0 +1,98 @@
+package hypergraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Write serializes the hypergraph in a line-oriented text format: one
+// unique hyperedge per line as space-separated node ids, followed by
+// "# <multiplicity>" when the multiplicity exceeds 1. Lines are sorted by
+// node set for reproducible output.
+func (h *Hypergraph) Write(w io.Writer) error {
+	type line struct {
+		nodes []int
+		mult  int
+	}
+	lines := make([]line, 0, h.NumUnique())
+	h.Each(func(nodes []int, mult int) {
+		lines = append(lines, line{nodes: nodes, mult: mult})
+	})
+	sort.Slice(lines, func(i, j int) bool {
+		a, b := lines[i].nodes, lines[j].nodes
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	bw := bufio.NewWriter(w)
+	for _, l := range lines {
+		for i, u := range l.nodes {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(u)); err != nil {
+				return err
+			}
+		}
+		if l.mult > 1 {
+			if _, err := fmt.Fprintf(bw, " # %d", l.mult); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the format produced by Write. Blank lines and lines starting
+// with "%" are skipped.
+func Read(r io.Reader) (*Hypergraph, error) {
+	h := New(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		mult := 1
+		if i := strings.Index(text, "#"); i >= 0 {
+			m, err := strconv.Atoi(strings.TrimSpace(text[i+1:]))
+			if err != nil {
+				return nil, fmt.Errorf("hypergraph: line %d: bad multiplicity: %v", lineNo, err)
+			}
+			mult = m
+			text = strings.TrimSpace(text[:i])
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("hypergraph: line %d: hyperedge needs at least 2 nodes", lineNo)
+		}
+		nodes := make([]int, len(fields))
+		for i, f := range fields {
+			u, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("hypergraph: line %d: bad node id %q", lineNo, f)
+			}
+			nodes[i] = u
+		}
+		h.AddMult(nodes, mult)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}

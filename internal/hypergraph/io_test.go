@@ -1,0 +1,52 @@
+package hypergraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	h := New(6)
+	h.AddMult([]int{0, 1}, 3)
+	h.Add([]int{2, 3, 4})
+	h.Add([]int{0, 5})
+	var sb strings.Builder
+	if err := h.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Equal(got) {
+		t.Fatalf("round trip mismatch:\n%s", sb.String())
+	}
+}
+
+func TestReadFormatVariants(t *testing.T) {
+	in := `
+% a comment
+1 2 3
+4 5 # 7
+
+2 1 3
+`
+	h, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Multiplicity([]int{1, 2, 3}) != 2 {
+		t.Fatalf("mult({1,2,3}) = %d, want 2 (order-insensitive)", h.Multiplicity([]int{1, 2, 3}))
+	}
+	if h.Multiplicity([]int{4, 5}) != 7 {
+		t.Fatalf("mult({4,5}) = %d, want 7", h.Multiplicity([]int{4, 5}))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, in := range []string{"5", "a b", "1 2 # x"} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q should fail", in)
+		}
+	}
+}

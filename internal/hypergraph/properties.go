@@ -1,0 +1,247 @@
+package hypergraph
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ScalarProperties are the seven scalar structural properties compared in
+// the paper's Table IV.
+type ScalarProperties struct {
+	NumNodes               float64 // nodes covered by at least one hyperedge
+	NumHyperedges          float64 // |E_H| (unique hyperedges)
+	AvgNodeDegree          float64 // mean hyperedge-occurrence count per covered node
+	AvgEdgeSize            float64 // mean hyperedge size over occurrences
+	SimplicialClosureRatio float64 // fraction of projected triangles inside some hyperedge
+	Density                float64 // |E*_H| / covered nodes (Hu et al.)
+	Overlapness            float64 // Σ|e|·M(e) / covered nodes (Lee et al.)
+}
+
+// Scalars computes all scalar structural properties of h.
+func (h *Hypergraph) Scalars() ScalarProperties {
+	covered := h.CoveredNodes()
+	var p ScalarProperties
+	p.NumNodes = float64(covered)
+	p.NumHyperedges = float64(h.NumUnique())
+	if covered > 0 {
+		sumDeg := 0
+		for _, d := range h.NodeDegrees() {
+			sumDeg += d
+		}
+		p.AvgNodeDegree = float64(sumDeg) / float64(covered)
+		p.Density = float64(h.NumTotal()) / float64(covered)
+		p.Overlapness = float64(h.SumSizes()) / float64(covered)
+	}
+	if h.NumTotal() > 0 {
+		p.AvgEdgeSize = float64(h.SumSizes()) / float64(h.NumTotal())
+	}
+	p.SimplicialClosureRatio = h.simplicialClosureRatio()
+	return p
+}
+
+// maxTripleEdgeSize caps the hyperedge size for triple enumeration; a
+// hyperedge of size s contributes C(s,3) triples, which becomes quadratic
+// noise beyond this cap while contributing little to the distribution.
+const maxTripleEdgeSize = 60
+
+// simplicialClosureRatio is the fraction of triangles of the projected
+// graph that are contained in at least one hyperedge. A triangle that is
+// merely the union of pairwise overlaps stays "open"; one induced by a
+// size-≥3 hyperedge is "closed". This follows the simplicial-closure notion
+// of Benson et al. restricted to a single snapshot.
+func (h *Hypergraph) simplicialClosureRatio() float64 {
+	closed := make(map[string]bool)
+	h.Each(func(nodes []int, _ int) {
+		if len(nodes) < 3 || len(nodes) > maxTripleEdgeSize {
+			return
+		}
+		forEachTriple(nodes, func(a, b, c int) {
+			closed[KeySorted([]int{a, b, c})] = true
+		})
+	})
+	g := h.Project()
+	total, hit := 0, 0
+	g.Triangles(func(a, b, c int) bool {
+		total++
+		if closed[KeySorted([]int{a, b, c})] {
+			hit++
+		}
+		return true
+	})
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+func forEachTriple(nodes []int, fn func(a, b, c int)) {
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			for k := j + 1; k < len(nodes); k++ {
+				fn(nodes[i], nodes[j], nodes[k])
+			}
+		}
+	}
+}
+
+// NodeDegreeDist returns the hypergraph degrees of covered nodes as a
+// sample for distribution comparison.
+func (h *Hypergraph) NodeDegreeDist() []float64 {
+	var out []float64
+	for _, d := range h.NodeDegrees() {
+		if d > 0 {
+			out = append(out, float64(d))
+		}
+	}
+	return out
+}
+
+// NodePairDegreeDist returns the co-degree (number of hyperedge occurrences
+// containing both endpoints) of every co-appearing node pair — exactly the
+// edge multiplicities ω of the projected graph.
+func (h *Hypergraph) NodePairDegreeDist() []float64 {
+	g := h.Project()
+	edges := g.Edges()
+	out := make([]float64, len(edges))
+	for i, e := range edges {
+		out[i] = float64(e.W)
+	}
+	return out
+}
+
+// NodeTripleDegreeDist returns, for every node triple contained in at least
+// one hyperedge, the number of hyperedge occurrences containing it.
+func (h *Hypergraph) NodeTripleDegreeDist() []float64 {
+	counts := make(map[string]int)
+	h.Each(func(nodes []int, mult int) {
+		if len(nodes) < 3 || len(nodes) > maxTripleEdgeSize {
+			return
+		}
+		forEachTriple(nodes, func(a, b, c int) {
+			counts[KeySorted([]int{a, b, c})] += mult
+		})
+	})
+	out := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		out = append(out, float64(c))
+	}
+	return out
+}
+
+// HomogeneityDist returns the homogeneity of every unique hyperedge with
+// ≥ 2 nodes: the mean pairwise co-degree of its node pairs (Lee et al.,
+// WWW 2021). Higher values mean the hyperedge's members co-appear often
+// elsewhere.
+func (h *Hypergraph) HomogeneityDist() []float64 {
+	g := h.Project()
+	var out []float64
+	h.Each(func(nodes []int, _ int) {
+		if len(nodes) < 2 {
+			return
+		}
+		sum, cnt := 0, 0
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				sum += g.Weight(nodes[i], nodes[j])
+				cnt++
+			}
+		}
+		out = append(out, float64(sum)/float64(cnt))
+	})
+	return out
+}
+
+// SingularValues returns the k largest singular values of the hypergraph's
+// node-by-occurrence incidence matrix B (a hyperedge with multiplicity m
+// contributes m identical 0/1 columns). They are computed as the square
+// roots of the top eigenvalues of S = B·Bᵀ = Σ_e M(e)·1_e·1_eᵀ via power
+// iteration with deflation on the implicit operator, so no dense |V|×|V|
+// matrix is ever formed.
+func (h *Hypergraph) SingularValues(k int) []float64 {
+	n := h.numNodes
+	if n == 0 || h.NumUnique() == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	// matvec computes y = S x in O(Σ|e|) time.
+	matvec := func(x, y []float64) {
+		for i := range y {
+			y[i] = 0
+		}
+		h.Each(func(nodes []int, mult int) {
+			s := 0.0
+			for _, u := range nodes {
+				s += x[u]
+			}
+			s *= float64(mult)
+			for _, u := range nodes {
+				y[u] += s
+			}
+		})
+	}
+	rng := rand.New(rand.NewSource(7))
+	var found [][]float64
+	var vals []float64
+	x := make([]float64, n)
+	y := make([]float64, n)
+	const iters = 300
+	for j := 0; j < k; j++ {
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		orthonormalize(x, found)
+		if norm(x) == 0 {
+			break
+		}
+		scale(x, 1/norm(x))
+		lambda := 0.0
+		for it := 0; it < iters; it++ {
+			matvec(x, y)
+			orthonormalize(y, found)
+			ny := norm(y)
+			if ny == 0 {
+				lambda = 0
+				break
+			}
+			lambda = ny
+			scale(y, 1/ny)
+			copy(x, y)
+		}
+		if lambda <= 1e-12 {
+			break
+		}
+		v := make([]float64, n)
+		copy(v, x)
+		found = append(found, v)
+		vals = append(vals, math.Sqrt(lambda))
+	}
+	return vals
+}
+
+func norm(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func scale(x []float64, a float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+func orthonormalize(x []float64, basis [][]float64) {
+	for _, b := range basis {
+		d := 0.0
+		for i := range x {
+			d += x[i] * b[i]
+		}
+		for i := range x {
+			x[i] -= d * b[i]
+		}
+	}
+}

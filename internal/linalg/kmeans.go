@@ -1,0 +1,122 @@
+package linalg
+
+import "math/rand"
+
+// KMeans clusters the rows of points into k clusters with Lloyd's algorithm
+// and k-means++ seeding, returning the cluster assignment of every row. The
+// result is deterministic for a fixed seed. maxIter caps the number of
+// Lloyd iterations (25 is plenty for the small embedding matrices used in
+// the downstream experiments).
+func KMeans(points *Matrix, k int, seed int64, maxIter int) []int {
+	n, d := points.Rows, points.Cols
+	assign := make([]int, n)
+	if n == 0 || k <= 0 {
+		return assign
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := kmeansppInit(points, k, rng)
+	dist := func(row []float64, c []float64) float64 {
+		s := 0.0
+		for j := 0; j < d; j++ {
+			dd := row[j] - c[j]
+			s += dd * dd
+		}
+		return s
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			row := points.Row(i)
+			best, bd := 0, dist(row, centers.Row(0))
+			for c := 1; c < k; c++ {
+				if dd := dist(row, centers.Row(c)); dd < bd {
+					best, bd = c, dd
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, k)
+		next := NewMatrix(k, d)
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			row := points.Row(i)
+			nr := next.Row(c)
+			for j := 0; j < d; j++ {
+				nr[j] += row[j]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(next.Row(c), points.Row(rng.Intn(n)))
+				continue
+			}
+			nr := next.Row(c)
+			for j := 0; j < d; j++ {
+				nr[j] /= float64(counts[c])
+			}
+		}
+		centers = next
+	}
+	return assign
+}
+
+// kmeansppInit picks k initial centers with k-means++ (distance-squared
+// weighted sampling).
+func kmeansppInit(points *Matrix, k int, rng *rand.Rand) *Matrix {
+	n, d := points.Rows, points.Cols
+	centers := NewMatrix(k, d)
+	first := rng.Intn(n)
+	copy(centers.Row(0), points.Row(first))
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = sqDist(points.Row(i), centers.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for _, dd := range minDist {
+			total += dd
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, dd := range minDist {
+				acc += dd
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centers.Row(c), points.Row(pick))
+		for i := range minDist {
+			if dd := sqDist(points.Row(i), centers.Row(c)); dd < minDist[i] {
+				minDist[i] = dd
+			}
+		}
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,217 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 7 {
+		t.Fatalf("At = %v, want 7", m.At(0, 1))
+	}
+	r := m.Row(0)
+	r[2] = 9
+	if m.At(0, 2) != 9 {
+		t.Fatal("Row must be a view")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 1)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone must be independent")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	p := Mul(a, Identity(2))
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != a.At(i, j) {
+				t.Fatalf("A·I ≠ A at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(3, 2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, float64(i*3+j+1)) // 1..6
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			b.Set(i, j, float64(i*2+j+1)) // 1..6
+		}
+	}
+	p := Mul(a, b)
+	want := [][]float64{{22, 28}, {49, 64}}
+	for i := range want {
+		for j := range want[i] {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("Mul at (%d,%d) = %v, want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewMatrix(2, 3)
+	a.Set(0, 2, 7)
+	at := Transpose(a)
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 0) != 7 {
+		t.Fatalf("Transpose wrong: %dx%d, at(2,0)=%v", at.Rows, at.Cols, at.At(2, 0))
+	}
+}
+
+func TestMatVecAndDot(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	y := MatVec(a, []float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MatVec = %v", y)
+	}
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-12 {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := NewMatrix(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	vals, vecs := SymEigen(a)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-9 {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+	// Eigenvectors must be unit columns.
+	for j := 0; j < 3; j++ {
+		s := 0.0
+		for i := 0; i < 3; i++ {
+			s += vecs.At(i, j) * vecs.At(i, j)
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("eigenvector %d not unit norm: %v", j, s)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	vals, _ := SymEigen(a)
+	if math.Abs(vals[0]-1) > 1e-9 || math.Abs(vals[1]-3) > 1e-9 {
+		t.Fatalf("vals = %v, want [1 3]", vals)
+	}
+}
+
+// TestQuickSymEigenReconstruction: V·diag(λ)·Vᵀ must reproduce the input on
+// random symmetric matrices.
+func TestQuickSymEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs := SymEigen(a)
+		// Check A·v_j = λ_j·v_j for each eigenpair.
+		for j := 0; j < n; j++ {
+			col := make([]float64, n)
+			for i := 0; i < n; i++ {
+				col[i] = vecs.At(i, j)
+			}
+			av := MatVec(a, col)
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-vals[j]*col[i]) > 1e-6 {
+					t.Fatalf("trial %d: eigenpair %d violated: %v vs %v",
+						trial, j, av[i], vals[j]*col[i])
+				}
+			}
+		}
+	}
+}
+
+func TestKMeansTwoBlobs(t *testing.T) {
+	pts := NewMatrix(20, 2)
+	for i := 0; i < 10; i++ {
+		pts.Set(i, 0, 0+0.01*float64(i))
+		pts.Set(i+10, 0, 10+0.01*float64(i))
+	}
+	assign := KMeans(pts, 2, 1, 25)
+	for i := 1; i < 10; i++ {
+		if assign[i] != assign[0] {
+			t.Fatal("first blob split")
+		}
+		if assign[i+10] != assign[10] {
+			t.Fatal("second blob split")
+		}
+	}
+	if assign[0] == assign[10] {
+		t.Fatal("blobs merged")
+	}
+}
+
+func TestKMeansDegenerateInputs(t *testing.T) {
+	if got := KMeans(NewMatrix(0, 2), 3, 1, 10); len(got) != 0 {
+		t.Fatal("empty input should yield empty assignment")
+	}
+	pts := NewMatrix(2, 1)
+	pts.Set(1, 0, 1)
+	assign := KMeans(pts, 5, 1, 10) // k > n clamps
+	if len(assign) != 2 {
+		t.Fatalf("assignment length %d", len(assign))
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 8 {
+			return true
+		}
+		n := len(raw) / 2
+		pts := NewMatrix(n, 2)
+		copy(pts.Data, raw[:n*2])
+		a := KMeans(pts, 3, 7, 25)
+		b := KMeans(pts, 3, 7, 25)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package mlp implements the "simple MLP" classifier of the MARIOH paper
+// from scratch: fully-connected layers with ReLU hidden activations, a
+// sigmoid output for binary classification, binary cross-entropy loss, and
+// the Adam optimizer. Training is deterministic for a fixed seed.
+package mlp
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+)
+
+// Net is a feed-forward binary classifier. Fields are exported so a trained
+// network can be serialized with encoding/json and reloaded.
+type Net struct {
+	Sizes []int       // layer widths: input, hidden..., 1
+	W     [][]float64 // W[l] is Sizes[l+1]×Sizes[l], row-major
+	B     [][]float64 // B[l] has Sizes[l+1] entries
+}
+
+// New creates a network with the given input width and hidden layer widths;
+// the output layer always has a single sigmoid unit. Weights use He
+// initialization from the provided seed.
+func New(inputDim int, hidden []int, seed int64) *Net {
+	sizes := append([]int{inputDim}, hidden...)
+	sizes = append(sizes, 1)
+	n := &Net{Sizes: sizes}
+	rng := rand.New(rand.NewSource(seed))
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, in*out)
+		std := math.Sqrt(2 / float64(in))
+		for i := range w {
+			w[i] = rng.NormFloat64() * std
+		}
+		n.W = append(n.W, w)
+		n.B = append(n.B, make([]float64, out))
+	}
+	return n
+}
+
+// Forward returns the sigmoid output probability for a single input vector.
+func (n *Net) Forward(x []float64) float64 {
+	a := x
+	for l := 0; l < len(n.W); l++ {
+		a = n.layer(l, a, l < len(n.W)-1)
+	}
+	return sigmoid(a[0])
+}
+
+// layer computes W[l]·a + B[l], applying ReLU when relu is true.
+func (n *Net) layer(l int, a []float64, relu bool) []float64 {
+	in, out := n.Sizes[l], n.Sizes[l+1]
+	z := make([]float64, out)
+	w := n.W[l]
+	for o := 0; o < out; o++ {
+		s := n.B[l][o]
+		row := w[o*in : (o+1)*in]
+		for i, v := range row {
+			s += v * a[i]
+		}
+		z[o] = s
+	}
+	if relu {
+		for i, v := range z {
+			if v < 0 {
+				z[i] = 0
+			}
+		}
+	}
+	return z
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// TrainOptions configure Train.
+type TrainOptions struct {
+	Epochs    int     // full passes over the data (default 60)
+	BatchSize int     // minibatch size (default 32)
+	LR        float64 // Adam step size (default 1e-3)
+	L2        float64 // weight decay (default 1e-5)
+	Seed      int64   // shuffling seed
+}
+
+func (o *TrainOptions) defaults() {
+	if o.Epochs <= 0 {
+		o.Epochs = 60
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 32
+	}
+	if o.LR <= 0 {
+		o.LR = 1e-3
+	}
+	if o.L2 < 0 {
+		o.L2 = 0
+	}
+}
+
+// Train fits the network on (X, y) with y ∈ {0,1}, minimizing binary
+// cross-entropy with Adam. It returns the final mean training loss.
+func (n *Net) Train(X [][]float64, y []float64, opts TrainOptions) float64 {
+	opts.defaults()
+	if len(X) == 0 {
+		return 0
+	}
+	if len(X) != len(y) {
+		panic("mlp: X and y length mismatch")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	ad := newAdam(n, opts.LR)
+	order := make([]int, len(X))
+	for i := range order {
+		order[i] = i
+	}
+	lastLoss := 0.0
+	for ep := 0; ep < opts.Epochs; ep++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0.0
+		for start := 0; start < len(order); start += opts.BatchSize {
+			end := start + opts.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			gw, gb := n.zeroGrads()
+			for _, idx := range order[start:end] {
+				total += n.backprop(X[idx], y[idx], gw, gb)
+			}
+			inv := 1 / float64(end-start)
+			for l := range gw {
+				for i := range gw[l] {
+					gw[l][i] = gw[l][i]*inv + opts.L2*n.W[l][i]
+				}
+				for i := range gb[l] {
+					gb[l][i] *= inv
+				}
+			}
+			ad.step(n, gw, gb)
+		}
+		lastLoss = total / float64(len(order))
+	}
+	return lastLoss
+}
+
+func (n *Net) zeroGrads() (gw, gb [][]float64) {
+	for l := range n.W {
+		gw = append(gw, make([]float64, len(n.W[l])))
+		gb = append(gb, make([]float64, len(n.B[l])))
+	}
+	return gw, gb
+}
+
+// backprop accumulates the gradient of BCE(Forward(x), y) into gw/gb and
+// returns the sample loss.
+func (n *Net) backprop(x []float64, y float64, gw, gb [][]float64) float64 {
+	L := len(n.W)
+	acts := make([][]float64, L+1) // acts[0] = x, acts[l] = post-activation
+	acts[0] = x
+	for l := 0; l < L; l++ {
+		acts[l+1] = n.layer(l, acts[l], l < L-1)
+	}
+	p := sigmoid(acts[L][0])
+	const eps = 1e-12
+	loss := -(y*math.Log(p+eps) + (1-y)*math.Log(1-p+eps))
+	// δ for the output pre-activation of the sigmoid+BCE pair is (p − y).
+	delta := []float64{p - y}
+	for l := L - 1; l >= 0; l-- {
+		in := n.Sizes[l]
+		a := acts[l]
+		w := n.W[l]
+		for o, d := range delta {
+			gb[l][o] += d
+			row := gw[l][o*in : (o+1)*in]
+			for i := range row {
+				row[i] += d * a[i]
+			}
+		}
+		if l == 0 {
+			break
+		}
+		prev := make([]float64, in)
+		for o, d := range delta {
+			row := w[o*in : (o+1)*in]
+			for i := range row {
+				prev[i] += d * row[i]
+			}
+		}
+		// ReLU gate of the previous hidden layer.
+		for i := range prev {
+			if acts[l][i] <= 0 {
+				prev[i] = 0
+			}
+		}
+		delta = prev
+	}
+	return loss
+}
+
+// adam holds Adam optimizer state.
+type adam struct {
+	lr, b1, b2, eps float64
+	t               int
+	mw, vw, mb, vb  [][]float64
+}
+
+func newAdam(n *Net, lr float64) *adam {
+	a := &adam{lr: lr, b1: 0.9, b2: 0.999, eps: 1e-8}
+	for l := range n.W {
+		a.mw = append(a.mw, make([]float64, len(n.W[l])))
+		a.vw = append(a.vw, make([]float64, len(n.W[l])))
+		a.mb = append(a.mb, make([]float64, len(n.B[l])))
+		a.vb = append(a.vb, make([]float64, len(n.B[l])))
+	}
+	return a
+}
+
+func (a *adam) step(n *Net, gw, gb [][]float64) {
+	a.t++
+	c1 := 1 - math.Pow(a.b1, float64(a.t))
+	c2 := 1 - math.Pow(a.b2, float64(a.t))
+	upd := func(p, g, m, v []float64) {
+		for i := range p {
+			m[i] = a.b1*m[i] + (1-a.b1)*g[i]
+			v[i] = a.b2*v[i] + (1-a.b2)*g[i]*g[i]
+			p[i] -= a.lr * (m[i] / c1) / (math.Sqrt(v[i]/c2) + a.eps)
+		}
+	}
+	for l := range n.W {
+		upd(n.W[l], gw[l], a.mw[l], a.vw[l])
+		upd(n.B[l], gb[l], a.mb[l], a.vb[l])
+	}
+}
+
+// MarshalJSON / UnmarshalJSON round-trip the trained network.
+func (n *Net) MarshalJSON() ([]byte, error) {
+	type alias Net
+	return json.Marshal((*alias)(n))
+}
+
+// UnmarshalJSON restores a serialized network.
+func (n *Net) UnmarshalJSON(b []byte) error {
+	type alias Net
+	return json.Unmarshal(b, (*alias)(n))
+}

@@ -1,0 +1,151 @@
+package mlp
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestForwardShape(t *testing.T) {
+	n := New(3, []int{4, 2}, 1)
+	p := n.Forward([]float64{0.1, -0.2, 0.3})
+	if p <= 0 || p >= 1 {
+		t.Fatalf("Forward out of (0,1): %v", p)
+	}
+	if len(n.Sizes) != 4 || n.Sizes[3] != 1 {
+		t.Fatalf("layer sizes = %v", n.Sizes)
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a := New(5, []int{8}, 42)
+	b := New(5, []int{8}, 42)
+	for l := range a.W {
+		for i := range a.W[l] {
+			if a.W[l][i] != b.W[l][i] {
+				t.Fatal("same seed produced different weights")
+			}
+		}
+	}
+}
+
+func TestTrainLinearlySeparable(t *testing.T) {
+	// y = 1 iff x0 + x1 > 1.
+	rng := rand.New(rand.NewSource(2))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		X = append(X, []float64{a, b})
+		if a+b > 1 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	n := New(2, []int{8}, 1)
+	loss := n.Train(X, y, TrainOptions{Epochs: 150, LR: 5e-3, Seed: 1})
+	if loss > 0.25 {
+		t.Fatalf("final loss %v too high", loss)
+	}
+	correct := 0
+	for i := range X {
+		p := n.Forward(X[i])
+		if (p > 0.5) == (y[i] == 1) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.95 {
+		t.Fatalf("train accuracy %v < 0.95", acc)
+	}
+}
+
+func TestTrainXOR(t *testing.T) {
+	// XOR needs the hidden layer: a pure linear model can't fit it.
+	X := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []float64{0, 1, 1, 0}
+	// Replicate so minibatches see everything repeatedly.
+	var Xr [][]float64
+	var yr []float64
+	for i := 0; i < 64; i++ {
+		Xr = append(Xr, X...)
+		yr = append(yr, y...)
+	}
+	n := New(2, []int{8, 4}, 3)
+	n.Train(Xr, yr, TrainOptions{Epochs: 200, LR: 5e-3, Seed: 3})
+	for i := range X {
+		p := n.Forward(X[i])
+		if (p > 0.5) != (y[i] == 1) {
+			t.Fatalf("XOR case %v misclassified: p=%v", X[i], p)
+		}
+	}
+}
+
+func TestTrainEmptyAndMismatch(t *testing.T) {
+	n := New(2, []int{4}, 1)
+	if loss := n.Train(nil, nil, TrainOptions{}); loss != 0 {
+		t.Fatal("empty training should be a no-op")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	n.Train([][]float64{{1, 2}}, []float64{1, 0}, TrainOptions{})
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	n := New(3, []int{4}, 9)
+	b, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Net
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, -1, 2}
+	if math.Abs(n.Forward(x)-m.Forward(x)) > 1e-15 {
+		t.Fatal("round-tripped network disagrees")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	X := [][]float64{{1, 10}, {3, 10}}
+	s := FitStandardizer(X)
+	if s.Mean[0] != 2 || s.Mean[1] != 10 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Std[0] != 1 {
+		t.Fatalf("std[0] = %v, want 1", s.Std[0])
+	}
+	if s.Std[1] != 1 { // constant feature gets unit scale
+		t.Fatalf("std[1] = %v, want fallback 1", s.Std[1])
+	}
+	got := s.Transform([]float64{3, 10})
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("Transform = %v", got)
+	}
+}
+
+func TestStandardizerEmpty(t *testing.T) {
+	s := FitStandardizer(nil)
+	x := []float64{1, 2}
+	if got := s.Transform(x); got[0] != 1 || got[1] != 2 {
+		t.Fatal("empty standardizer should be identity")
+	}
+}
+
+func TestTrainIsDeterministic(t *testing.T) {
+	X := [][]float64{{0, 1}, {1, 0}, {1, 1}, {0, 0}, {0.5, 0.5}}
+	y := []float64{1, 1, 0, 0, 1}
+	a := New(2, []int{4}, 11)
+	b := New(2, []int{4}, 11)
+	a.Train(X, y, TrainOptions{Epochs: 20, Seed: 5})
+	b.Train(X, y, TrainOptions{Epochs: 20, Seed: 5})
+	x := []float64{0.3, 0.7}
+	if a.Forward(x) != b.Forward(x) {
+		t.Fatal("training not deterministic for fixed seeds")
+	}
+}

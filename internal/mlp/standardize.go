@@ -1,0 +1,61 @@
+package mlp
+
+import "math"
+
+// Standardizer rescales feature vectors to zero mean and unit variance
+// using statistics estimated from the training set. Constant features get a
+// unit scale so they pass through centered at zero.
+type Standardizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitStandardizer estimates per-dimension mean and standard deviation.
+func FitStandardizer(X [][]float64) *Standardizer {
+	if len(X) == 0 {
+		return &Standardizer{}
+	}
+	d := len(X[0])
+	s := &Standardizer{Mean: make([]float64, d), Std: make([]float64, d)}
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	inv := 1 / float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] *= inv
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] * inv)
+		if s.Std[j] < 1e-9 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform standardizes x in place and returns it.
+func (s *Standardizer) Transform(x []float64) []float64 {
+	if len(s.Mean) == 0 {
+		return x
+	}
+	for j := range x {
+		x[j] = (x[j] - s.Mean[j]) / s.Std[j]
+	}
+	return x
+}
+
+// TransformAll standardizes every row in place and returns X.
+func (s *Standardizer) TransformAll(X [][]float64) [][]float64 {
+	for _, row := range X {
+		s.Transform(row)
+	}
+	return X
+}

@@ -1,0 +1,118 @@
+// Package marioh is the public API of this reproduction of "MARIOH:
+// Multiplicity-Aware Hypergraph Reconstruction" (Lee, Lee & Shin, ICDE
+// 2025). It reconstructs a hypergraph — a multiset of node sets of size
+// ≥ 2 — from its weighted clique-expansion projection, using the edge
+// multiplicities ω(u, v) that record how many hyperedges contain each node
+// pair.
+//
+// The typical flow mirrors the paper's Problem 1 (supervised hypergraph
+// reconstruction):
+//
+//	src, tgt := ...                            // same-domain hypergraphs
+//	model := marioh.TrainModel(src.Project(), src, marioh.TrainOptions{})
+//	result := marioh.Reconstruct(tgt.Project(), model, marioh.Options{})
+//	fmt.Println(marioh.Jaccard(tgt, result.Hypergraph))
+//
+// The exported names are aliases of the implementation packages under
+// internal/, so the full method sets of Hypergraph, Graph and Model are
+// available through this package.
+package marioh
+
+import (
+	"io"
+
+	"marioh/internal/core"
+	"marioh/internal/datasets"
+	"marioh/internal/downstream"
+	"marioh/internal/eval"
+	"marioh/internal/features"
+	"marioh/internal/graph"
+	"marioh/internal/hypergraph"
+)
+
+// Hypergraph is a multiset of hyperedges with per-hyperedge multiplicity.
+type Hypergraph = hypergraph.Hypergraph
+
+// Graph is a weighted projected graph; weights are edge multiplicities.
+type Graph = graph.Graph
+
+// Model is a trained multiplicity-aware clique classifier.
+type Model = core.Model
+
+// TrainOptions configure TrainModel; the zero value uses the paper's
+// defaults (multiplicity-aware features, a [32, 16] MLP, 60 epochs).
+type TrainOptions = core.TrainOptions
+
+// Options configure Reconstruct; the zero value uses θ_init = 0.9, r = 40
+// and α = 1/20.
+type Options = core.Options
+
+// Result is a reconstruction with its per-step timing breakdown.
+type Result = core.Result
+
+// Dataset is a generated benchmark dataset with source/target halves.
+type Dataset = datasets.Dataset
+
+// NewHypergraph returns an empty hypergraph over n nodes (the universe
+// grows automatically as hyperedges are added).
+func NewHypergraph(n int) *Hypergraph { return hypergraph.New(n) }
+
+// NewGraph returns an empty weighted graph with n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// TrainModel fits the multiplicity-aware classifier on a source projected
+// graph and its ground-truth hypergraph (the supervision of Problem 1).
+func TrainModel(gSrc *Graph, hSrc *Hypergraph, opts TrainOptions) *Model {
+	return core.Train(gSrc, hSrc, opts)
+}
+
+// Reconstruct runs MARIOH on a target projected graph: guaranteed size-2
+// filtering followed by iterative bidirectional clique search.
+func Reconstruct(gTgt *Graph, m *Model, opts Options) *Result {
+	return core.Reconstruct(gTgt, m, opts)
+}
+
+// Jaccard is the reconstruction accuracy over unique hyperedges.
+func Jaccard(truth, rec *Hypergraph) float64 { return eval.Jaccard(truth, rec) }
+
+// MultiJaccard is the multiplicity-aware reconstruction accuracy.
+func MultiJaccard(truth, rec *Hypergraph) float64 { return eval.MultiJaccard(truth, rec) }
+
+// GenerateDataset builds one of the named synthetic dataset analogs (see
+// DatasetNames) with the given seed.
+func GenerateDataset(name string, seed int64) (*Dataset, error) {
+	return datasets.ByName(name, seed)
+}
+
+// DatasetNames lists the available dataset analogs.
+func DatasetNames() []string { return datasets.Names() }
+
+// LoadModel restores a classifier saved with Model.Save.
+func LoadModel(r io.Reader) (*Model, error) { return core.LoadModel(r) }
+
+// Featurizer turns cliques into classifier feature vectors.
+type Featurizer = features.Featurizer
+
+// FeaturizerByName resolves a featurizer: "marioh" (the multiplicity-aware
+// default), "marioh-nomhh", "shyre-count", or "shyre-motif".
+func FeaturizerByName(name string) (Featurizer, bool) { return features.ByName(name) }
+
+// ReadHypergraph parses the line-oriented hyperedge format ("u v w ..."
+// per hyperedge, optional "# mult" suffix).
+func ReadHypergraph(r io.Reader) (*Hypergraph, error) { return hypergraph.Read(r) }
+
+// ReadGraph parses a weighted edge list ("u v w" per line).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// LinkPredictionAUC runs the paper's link-prediction protocol on a
+// projected graph, optionally enriched with hyperedge features (pass a nil
+// hypergraph for the graph-only setting).
+func LinkPredictionAUC(g *Graph, h *Hypergraph, seed int64) float64 {
+	return downstream.LinkPredictionAUC(g, h, downstream.LinkPredOptions{Seed: seed})
+}
+
+// ClusteringNMI spectrally clusters the hypergraph (or the graph when h is
+// nil) and scores the clusters against ground-truth labels.
+func ClusteringNMI(g *Graph, h *Hypergraph, labels []int, seed int64) float64 {
+	return downstream.ClusteringNMI(g, h, labels, seed)
+}
