@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build fmt fmt-fix vet test race bench check
+
+all: check build
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt-fix:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -run 'Batch|Cancel|Progress|Parallel' ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+check: fmt vet test

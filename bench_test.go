@@ -8,18 +8,19 @@
 package marioh_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
 	"time"
 
+	"marioh"
 	"marioh/internal/core"
 	"marioh/internal/datasets"
 	"marioh/internal/downstream"
 	"marioh/internal/experiments"
 	"marioh/internal/gcn"
-	"marioh/internal/graph"
 	"marioh/internal/hypergraph"
 	"marioh/internal/mlp"
 )
@@ -129,11 +130,14 @@ func BenchmarkFig7(b *testing.B) {
 }
 
 // ---- Core pipeline benches ------------------------------------------------
+//
+// These exercise the public Reconstructor service API, so regressions in
+// the option plumbing and context threading show up here too.
 
-// trainedSetup caches a trained model and target graph per dataset.
+// trainedSetup caches a trained Reconstructor and target graph per dataset.
 type trainedSetup struct {
-	model *core.Model
-	gT    *graph.Graph
+	model *marioh.Model
+	gT    *marioh.Graph
 }
 
 var setups = map[string]*trainedSetup{}
@@ -145,33 +149,72 @@ func setup(b *testing.B, name string) *trainedSetup {
 	}
 	ds := datasets.MustByName(name, 1)
 	src, tgt := ds.Source.Reduced(), ds.Target.Reduced()
-	s := &trainedSetup{
-		model: core.Train(src.Project(), src, core.TrainOptions{Seed: 1, Epochs: 25}),
-		gT:    tgt.Project(),
+	r, err := marioh.New(marioh.WithSeed(1), marioh.WithEpochs(25))
+	if err != nil {
+		b.Fatal(err)
 	}
+	model, err := r.Train(context.Background(), src.Project(), src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &trainedSetup{model: model, gT: tgt.Project()}
 	setups[name] = s
 	return s
+}
+
+// reconstructor builds a service instance around the cached model.
+func (s *trainedSetup) reconstructor(b *testing.B, opts ...marioh.Option) *marioh.Reconstructor {
+	b.Helper()
+	r, err := marioh.New(append([]marioh.Option{marioh.WithSeed(1), marioh.WithModel(s.model)}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
 }
 
 func BenchmarkReconstruct(b *testing.B) {
 	for _, name := range []string{"crime", "hosts", "eu"} {
 		s := setup(b, name)
+		r := s.reconstructor(b)
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.Reconstruct(s.gT, s.model, core.Options{Seed: 1})
+				if _, err := r.Reconstruct(context.Background(), s.gT); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
 }
 
-// Ablation benches: the design choices DESIGN.md calls out.
+// BenchmarkReconstructBatch measures the worker-pool fan-out over four
+// targets against the same batch run sequentially.
+func BenchmarkReconstructBatch(b *testing.B) {
+	s := setup(b, "hosts")
+	targets := []*marioh.Graph{s.gT, s.gT, s.gT, s.gT}
+	for _, workers := range []int{1, 4} {
+		r := s.reconstructor(b, marioh.WithParallelism(workers))
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := r.ReconstructBatch(context.Background(), targets); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation benches: the design choices DESIGN.md calls out, selected
+// through the named-variant registry.
 
 func BenchmarkAblationFiltering(b *testing.B) {
 	s := setup(b, "hosts")
-	for _, disable := range []bool{false, true} {
-		b.Run(fmt.Sprintf("disableFilter=%v", disable), func(b *testing.B) {
+	for _, variant := range []string{"marioh", "marioh-f"} {
+		r := s.reconstructor(b, marioh.WithVariant(variant))
+		b.Run(fmt.Sprintf("variant=%s", variant), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.Reconstruct(s.gT, s.model, core.Options{Seed: 1, DisableFiltering: disable})
+				if _, err := r.Reconstruct(context.Background(), s.gT); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -179,10 +222,13 @@ func BenchmarkAblationFiltering(b *testing.B) {
 
 func BenchmarkAblationBidirectional(b *testing.B) {
 	s := setup(b, "hosts")
-	for _, disable := range []bool{false, true} {
-		b.Run(fmt.Sprintf("disableBidir=%v", disable), func(b *testing.B) {
+	for _, variant := range []string{"marioh", "marioh-b"} {
+		r := s.reconstructor(b, marioh.WithVariant(variant))
+		b.Run(fmt.Sprintf("variant=%s", variant), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.Reconstruct(s.gT, s.model, core.Options{Seed: 1, DisableBidirectional: disable})
+				if _, err := r.Reconstruct(context.Background(), s.gT); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -192,9 +238,15 @@ func BenchmarkTrainClassifier(b *testing.B) {
 	ds := datasets.MustByName("hosts", 1)
 	src := ds.Source.Reduced()
 	gS := src.Project()
+	r, err := marioh.New(marioh.WithSeed(1), marioh.WithEpochs(25))
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.Train(gS, src, core.TrainOptions{Seed: 1, Epochs: 25})
+		if _, err := r.Train(context.Background(), gS, src); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

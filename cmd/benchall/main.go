@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -39,7 +41,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := experiments.RunConfig{Timeout: *timeout, Quick: *quick}
+	// Ctrl-C cancels in-flight MARIOH reconstructions through the same
+	// context path the public Reconstructor API uses; cancelled cells
+	// render as OOT, the run stops at the next table boundary, and a
+	// second Ctrl-C force-quits (baselines only poll wall-clock
+	// deadlines, so the in-flight table may take up to -timeout per
+	// remaining cell to drain).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop() // restore default signal handling: next Ctrl-C kills
+	}()
+
+	cfg := experiments.RunConfig{Timeout: *timeout, Quick: *quick, Context: ctx}
 	for _, s := range strings.Split(*seeds, ",") {
 		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
 		if err != nil {
@@ -52,7 +67,14 @@ func main() {
 		cfg.Datasets = strings.Split(*dsNames, ",")
 	}
 
+	bail := func() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "benchall: interrupted")
+			os.Exit(130)
+		}
+	}
 	run := func(id int, isTable bool) {
+		bail()
 		start := time.Now()
 		switch {
 		case isTable && id == 1:
@@ -91,6 +113,7 @@ func main() {
 	}
 
 	runExtra := func() {
+		bail()
 		start := time.Now()
 		fiCfg := cfg
 		if len(fiCfg.Datasets) == 0 && *dsNames == "" {
@@ -123,4 +146,7 @@ func main() {
 	case *fig != 0:
 		run(*fig, false)
 	}
+	// A Ctrl-C during the final table must not masquerade as a clean run
+	// with genuine-looking OOT cells.
+	bail()
 }

@@ -1,80 +1,190 @@
 // Command mariohctl is the operational CLI of the MARIOH reproduction:
-// generate datasets, train + reconstruct, and evaluate reconstructions.
+// generate datasets, train + reconstruct (with cancellation and progress),
+// and evaluate reconstructions. Every subcommand honors Ctrl-C via
+// context cancellation.
 //
 // Usage:
 //
 //	mariohctl datasets
+//	mariohctl version
 //	mariohctl gen -dataset crime -seed 1 -out ./data
 //	mariohctl reconstruct -train ./data/crime.source.hg -target ./data/crime.target.graph -out ./rec.hg
+//	mariohctl reconstruct -train src.hg -target a.graph,b.graph -parallel 4 -out rec.hg
 //	mariohctl eval -truth ./data/crime.target.hg -rec ./rec.hg
-//	mariohctl demo -dataset hosts
+//	mariohctl demo -dataset hosts -variant marioh-b -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
 
 	"marioh"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:]))
+}
+
+// run dispatches a subcommand and maps errors to exit codes: 2 for usage
+// errors (unknown commands, bad flags), 1 for runtime failures.
+func run(ctx context.Context, args []string) int {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "datasets":
 		for _, n := range marioh.DatasetNames() {
 			fmt.Println(n)
 		}
+	case "version":
+		fmt.Println("mariohctl", marioh.Version)
 	case "gen":
-		err = cmdGen(os.Args[2:])
+		err = cmdGen(ctx, args[1:])
 	case "reconstruct":
-		err = cmdReconstruct(os.Args[2:])
+		err = cmdReconstruct(ctx, args[1:])
 	case "train":
-		err = cmdTrain(os.Args[2:])
+		err = cmdTrain(ctx, args[1:])
 	case "apply":
-		err = cmdApply(os.Args[2:])
+		err = cmdApply(ctx, args[1:])
 	case "eval":
-		err = cmdEval(os.Args[2:])
+		err = cmdEval(args[1:])
 	case "demo":
-		err = cmdDemo(os.Args[2:])
-	default:
+		err = cmdDemo(ctx, args[1:])
+	case "help", "-h", "-help", "--help":
 		usage()
-		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "mariohctl: unknown command %q\n\n", args[0])
+		usage()
+		return 2
 	}
-	if err != nil {
+	switch {
+	case err == nil:
+		return 0
+	case err == flag.ErrHelp:
+		// Asking for help is not an error (matching flag.ExitOnError).
+		return 0
+	default:
 		fmt.Fprintln(os.Stderr, "mariohctl:", err)
-		os.Exit(1)
+		if _, ok := err.(usageError); ok {
+			usage()
+			return 2
+		}
+		return 1
 	}
 }
 
+// usageError marks failures that should re-print the global usage and exit
+// with the usage status code.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mariohctl <command> [flags]
+	fmt.Fprintf(os.Stderr, `usage: mariohctl <command> [flags]
 
 commands:
   datasets     list the available synthetic dataset analogs
+  version      print the marioh module version
   gen          generate a dataset to disk (source/target hypergraphs + target graph)
-  reconstruct  train on a source hypergraph and reconstruct a target graph
+  reconstruct  train on a source hypergraph and reconstruct target graph(s)
   train        train a classifier on a source hypergraph and save it as JSON
-  apply        reconstruct a target graph with a previously saved model
+  apply        reconstruct target graph(s) with a previously saved model
   eval         compare a reconstruction against the ground truth
-  demo         end-to-end run on one dataset, printing accuracy`)
+  demo         end-to-end run on one dataset, printing accuracy
+  help         print this message
+
+variants: %s
+featurizers: %s
+`, strings.Join(marioh.VariantNames(), " | "), strings.Join(marioh.FeaturizerNames(), " | "))
 }
 
-func cmdGen(args []string) error {
-	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+// parse runs fs over args with errors reported instead of os.Exit, so
+// run() can produce a proper non-zero status and usage text.
+func parse(fs *flag.FlagSet, args []string) error {
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return err
+		}
+		return usageError{msg: fmt.Sprintf("%s: %v", fs.Name(), err)}
+	}
+	if fs.NArg() > 0 {
+		return usageError{msg: fmt.Sprintf("%s: unexpected arguments %q", fs.Name(), fs.Args())}
+	}
+	return nil
+}
+
+// serviceFlags are the flags shared by every subcommand that builds a
+// Reconstructor.
+type serviceFlags struct {
+	seed     *int64
+	variant  *string
+	theta    *float64
+	ratio    *float64
+	alpha    *float64
+	parallel *int
+	progress *bool
+}
+
+func addServiceFlags(fs *flag.FlagSet) *serviceFlags {
+	return &serviceFlags{
+		seed:     fs.Int64("seed", 1, "random seed"),
+		variant:  fs.String("variant", "marioh", "algorithm variant: "+strings.Join(marioh.VariantNames(), " | ")),
+		theta:    fs.Float64("theta", 0.9, "initial classification threshold"),
+		ratio:    fs.Float64("r", 40, "negative prediction processing ratio (%)"),
+		alpha:    fs.Float64("alpha", 1.0/20, "threshold adjust ratio"),
+		parallel: fs.Int("parallel", 0, "batch worker count (0 = GOMAXPROCS)"),
+		progress: fs.Bool("progress", false, "print per-round progress to stderr"),
+	}
+}
+
+func (sf *serviceFlags) options(extra ...marioh.Option) []marioh.Option {
+	opts := []marioh.Option{
+		marioh.WithSeed(*sf.seed),
+		marioh.WithVariant(*sf.variant),
+		marioh.WithThetaInit(*sf.theta),
+		marioh.WithR(*sf.ratio),
+		marioh.WithAlpha(*sf.alpha),
+		marioh.WithParallelism(*sf.parallel),
+	}
+	if *sf.progress {
+		opts = append(opts, marioh.WithProgress(func(p marioh.Progress) {
+			if p.Round == 0 {
+				fmt.Fprintf(os.Stderr, "  [t%d] filtered %d size-2 occurrences, %d edges remain\n",
+					p.Target, p.AcceptedRound, p.EdgesRemaining)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "  [t%d] round %d: θ=%.3f accepted %d (total %d), %d edges remain\n",
+				p.Target, p.Round, p.Theta, p.AcceptedRound, p.AcceptedTotal, p.EdgesRemaining)
+		}))
+	}
+	return append(opts, extra...)
+}
+
+func cmdGen(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
 	name := fs.String("dataset", "crime", "dataset analog name")
 	seed := fs.Int64("seed", 1, "generation seed")
 	out := fs.String("out", ".", "output directory")
 	reduced := fs.Bool("reduced", true, "reduce hyperedge multiplicities to 1")
-	fs.Parse(args)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 
 	ds, err := marioh.GenerateDataset(*name, *seed)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	src, tgt := ds.Source, ds.Target
@@ -106,76 +216,65 @@ func cmdGen(args []string) error {
 	return write(".target.graph", func(f *os.File) error { return tgt.Project().Write(f) })
 }
 
-func cmdReconstruct(args []string) error {
-	fs := flag.NewFlagSet("reconstruct", flag.ExitOnError)
+func cmdReconstruct(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("reconstruct", flag.ContinueOnError)
 	trainPath := fs.String("train", "", "source hypergraph file (supervision)")
-	targetPath := fs.String("target", "", "target projected graph file")
-	out := fs.String("out", "reconstructed.hg", "output hypergraph file")
-	seed := fs.Int64("seed", 1, "random seed")
-	theta := fs.Float64("theta", 0.9, "initial classification threshold")
-	ratio := fs.Float64("r", 40, "negative prediction processing ratio (%)")
-	alpha := fs.Float64("alpha", 1.0/20, "threshold adjust ratio")
-	fs.Parse(args)
+	targetPath := fs.String("target", "", "target projected graph file(s), comma-separated")
+	out := fs.String("out", "reconstructed.hg", "output hypergraph file (batch runs insert the target index)")
+	epochs := fs.Int("epochs", 60, "training epochs")
+	sf := addServiceFlags(fs)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	if *trainPath == "" || *targetPath == "" {
-		return fmt.Errorf("-train and -target are required")
+		return usageError{msg: "reconstruct: -train and -target are required"}
 	}
 
 	src, err := readHypergraphFile(*trainPath)
 	if err != nil {
 		return err
 	}
-	tf, err := os.Open(*targetPath)
+	r, err := marioh.New(sf.options(marioh.WithEpochs(*epochs))...)
 	if err != nil {
 		return err
 	}
-	gT, err := marioh.ReadGraph(tf)
-	tf.Close()
-	if err != nil {
+	if _, err := r.Train(ctx, src.Project(), src); err != nil {
 		return err
 	}
-
-	model := marioh.TrainModel(src.Project(), src, marioh.TrainOptions{Seed: *seed})
-	res := marioh.Reconstruct(gT, model, marioh.Options{
-		Seed: *seed, ThetaInit: *theta, R: *ratio, Alpha: *alpha,
-	})
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := res.Hypergraph.Write(f); err != nil {
-		return err
-	}
-	fmt.Printf("reconstructed %d unique hyperedges (%d occurrences) in %d rounds "+
-		"(filter %.3fs, search %.3fs) -> %s\n",
-		res.Hypergraph.NumUnique(), res.Hypergraph.NumTotal(), res.Times.Rounds,
-		res.Times.Filtering.Seconds(), res.Times.Bidirectional.Seconds(), *out)
-	return f.Close()
+	return reconstructTargets(ctx, r, strings.Split(*targetPath, ","), *out)
 }
 
-func cmdTrain(args []string) error {
-	fs := flag.NewFlagSet("train", flag.ExitOnError)
+func cmdTrain(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
 	trainPath := fs.String("train", "", "source hypergraph file (supervision)")
 	out := fs.String("out", "model.json", "output model file")
 	seed := fs.Int64("seed", 1, "random seed")
-	featurizer := fs.String("features", "marioh", "featurizer: marioh | marioh-nomhh | shyre-count | shyre-motif")
+	featurizer := fs.String("features", "marioh", "featurizer: "+strings.Join(marioh.FeaturizerNames(), " | "))
 	epochs := fs.Int("epochs", 60, "training epochs")
 	ratio := fs.Float64("supervision", 1.0, "fraction of source hyperedges used")
-	fs.Parse(args)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	if *trainPath == "" {
-		return fmt.Errorf("-train is required")
+		return usageError{msg: "train: -train is required"}
 	}
 	src, err := readHypergraphFile(*trainPath)
 	if err != nil {
 		return err
 	}
-	feat, ok := marioh.FeaturizerByName(*featurizer)
-	if !ok {
-		return fmt.Errorf("unknown featurizer %q", *featurizer)
+	r, err := marioh.New(
+		marioh.WithSeed(*seed),
+		marioh.WithFeaturizer(*featurizer),
+		marioh.WithEpochs(*epochs),
+		marioh.WithSupervisionRatio(*ratio),
+	)
+	if err != nil {
+		return err
 	}
-	model := marioh.TrainModel(src.Project(), src, marioh.TrainOptions{
-		Seed: *seed, Featurizer: feat, Epochs: *epochs, SupervisionRatio: *ratio,
-	})
+	model, err := r.Train(ctx, src.Project(), src)
+	if err != nil {
+		return err
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -190,18 +289,17 @@ func cmdTrain(args []string) error {
 	return f.Close()
 }
 
-func cmdApply(args []string) error {
-	fs := flag.NewFlagSet("apply", flag.ExitOnError)
+func cmdApply(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("apply", flag.ContinueOnError)
 	modelPath := fs.String("model", "model.json", "trained model file")
-	targetPath := fs.String("target", "", "target projected graph file")
-	out := fs.String("out", "reconstructed.hg", "output hypergraph file")
-	seed := fs.Int64("seed", 1, "random seed")
-	theta := fs.Float64("theta", 0.9, "initial classification threshold")
-	ratio := fs.Float64("r", 40, "negative prediction processing ratio (%)")
-	alpha := fs.Float64("alpha", 1.0/20, "threshold adjust ratio")
-	fs.Parse(args)
+	targetPath := fs.String("target", "", "target projected graph file(s), comma-separated")
+	out := fs.String("out", "reconstructed.hg", "output hypergraph file (batch runs insert the target index)")
+	sf := addServiceFlags(fs)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	if *targetPath == "" {
-		return fmt.Errorf("-target is required")
+		return usageError{msg: "apply: -target is required"}
 	}
 	mf, err := os.Open(*modelPath)
 	if err != nil {
@@ -212,38 +310,67 @@ func cmdApply(args []string) error {
 	if err != nil {
 		return err
 	}
-	tf, err := os.Open(*targetPath)
+	r, err := marioh.New(sf.options(marioh.WithModel(model))...)
 	if err != nil {
 		return err
 	}
-	gT, err := marioh.ReadGraph(tf)
-	tf.Close()
+	return reconstructTargets(ctx, r, strings.Split(*targetPath, ","), *out)
+}
+
+// reconstructTargets reconstructs every target graph (a batch run when
+// more than one) and writes each result next to the requested out path.
+func reconstructTargets(ctx context.Context, r *marioh.Reconstructor, paths []string, out string) error {
+	var graphs []*marioh.Graph
+	for _, p := range paths {
+		f, err := os.Open(strings.TrimSpace(p))
+		if err != nil {
+			return err
+		}
+		g, err := marioh.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		graphs = append(graphs, g)
+	}
+	results, err := r.ReconstructBatch(ctx, graphs)
 	if err != nil {
 		return err
 	}
-	res := marioh.Reconstruct(gT, model, marioh.Options{
-		Seed: *seed, ThetaInit: *theta, R: *ratio, Alpha: *alpha,
-	})
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
+	for i, res := range results {
+		path := out
+		if len(results) > 1 {
+			ext := filepath.Ext(out)
+			path = fmt.Sprintf("%s.%d%s", strings.TrimSuffix(out, ext), i, ext)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := res.Hypergraph.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("reconstructed %d unique hyperedges (%d occurrences) in %d rounds "+
+			"(filter %.3fs, search %.3fs) -> %s\n",
+			res.Hypergraph.NumUnique(), res.Hypergraph.NumTotal(), res.Times.Rounds,
+			res.Times.Filtering.Seconds(), res.Times.Bidirectional.Seconds(), path)
 	}
-	defer f.Close()
-	if err := res.Hypergraph.Write(f); err != nil {
-		return err
-	}
-	fmt.Printf("reconstructed %d unique hyperedges (%d occurrences) -> %s\n",
-		res.Hypergraph.NumUnique(), res.Hypergraph.NumTotal(), *out)
-	return f.Close()
+	return nil
 }
 
 func cmdEval(args []string) error {
-	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 	truthPath := fs.String("truth", "", "ground-truth hypergraph file")
 	recPath := fs.String("rec", "", "reconstructed hypergraph file")
-	fs.Parse(args)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	if *truthPath == "" || *recPath == "" {
-		return fmt.Errorf("-truth and -rec are required")
+		return usageError{msg: "eval: -truth and -rec are required"}
 	}
 	truth, err := readHypergraphFile(*truthPath)
 	if err != nil {
@@ -258,24 +385,28 @@ func cmdEval(args []string) error {
 	return nil
 }
 
-func cmdDemo(args []string) error {
-	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+func cmdDemo(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
 	name := fs.String("dataset", "hosts", "dataset analog name")
-	seed := fs.Int64("seed", 1, "seed")
-	fs.Parse(args)
+	epochs := fs.Int("epochs", 60, "training epochs")
+	sf := addServiceFlags(fs)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 
-	ds, err := marioh.GenerateDataset(*name, *seed)
+	r, err := marioh.New(sf.options(marioh.WithEpochs(*epochs))...)
 	if err != nil {
 		return err
 	}
-	src, tgt := ds.Source.Reduced(), ds.Target.Reduced()
+	pr, err := r.Pipeline(ctx, *name)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("dataset %s: source %d hyperedges, target %d hyperedges\n",
-		*name, src.NumUnique(), tgt.NumUnique())
-	model := marioh.TrainModel(src.Project(), src, marioh.TrainOptions{Seed: *seed})
-	res := marioh.Reconstruct(tgt.Project(), model, marioh.Options{Seed: *seed})
-	fmt.Printf("reconstructed %d hyperedges, Jaccard %.4f (filter %.3fs, search %.3fs)\n",
-		res.Hypergraph.NumUnique(), marioh.Jaccard(tgt, res.Hypergraph),
-		res.Times.Filtering.Seconds(), res.Times.Bidirectional.Seconds())
+		*name, pr.Dataset.Source.Reduced().NumUnique(), pr.Dataset.Target.Reduced().NumUnique())
+	fmt.Printf("reconstructed %d hyperedges, Jaccard %.4f, multi-Jaccard %.4f (filter %.3fs, search %.3fs)\n",
+		pr.Result.Hypergraph.NumUnique(), pr.Jaccard, pr.MultiJaccard,
+		pr.Result.Times.Filtering.Seconds(), pr.Result.Times.Bidirectional.Seconds())
 	return nil
 }
 

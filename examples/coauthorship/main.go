@@ -1,30 +1,36 @@
 // Coauthorship reproduces the paper's Fig. 2 case study on the DBLP
-// analog: train MARIOH on the earlier half of a co-authorship hypergraph,
-// reconstruct the later half from its projection, then zoom into the ego
-// sub-hypergraph of the most prolific author and show the exact recovery
-// that Fig. 2 illustrates for Jure Leskovec's ego network.
+// analog: run the full generate→train→reconstruct→evaluate pipeline on the
+// co-authorship hypergraph, then zoom into the ego sub-hypergraph of the
+// most prolific author and show the exact recovery that Fig. 2 illustrates
+// for Jure Leskovec's ego network.
 //
 // Run with: go run ./examples/coauthorship
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"marioh"
 )
 
 func main() {
-	ds, err := marioh.GenerateDataset("dblp", 1)
+	r, err := marioh.New(marioh.WithSeed(1))
 	if err != nil {
 		panic(err)
 	}
-	src, tgt := ds.Source.Reduced(), ds.Target.Reduced()
+
+	// Pipeline runs the end-to-end protocol in one call: generate the
+	// dataset, train on the earlier half, reconstruct the later half from
+	// its projection alone, and evaluate.
+	pr, err := r.Pipeline(context.Background(), "dblp")
+	if err != nil {
+		panic(err)
+	}
+	src, tgt := pr.Dataset.Source.Reduced(), pr.Dataset.Target.Reduced()
 	fmt.Printf("co-authorship analog: %d source papers, %d target papers\n",
 		src.NumUnique(), tgt.NumUnique())
-
-	model := marioh.TrainModel(src.Project(), src, marioh.TrainOptions{Seed: 1})
-	res := marioh.Reconstruct(tgt.Project(), model, marioh.Options{Seed: 1})
-	fmt.Printf("whole-graph Jaccard = %.4f\n", marioh.Jaccard(tgt, res.Hypergraph))
+	fmt.Printf("whole-graph Jaccard = %.4f\n", pr.Jaccard)
 
 	// Ego case study: the most prolific author in the target half.
 	deg := tgt.NodeDegrees()
@@ -35,7 +41,7 @@ func main() {
 		}
 	}
 	egoTruth := tgt.Ego(hub)
-	egoRec := res.Hypergraph.Ego(hub)
+	egoRec := pr.Result.Hypergraph.Ego(hub)
 	fmt.Printf("\nego sub-hypergraph of author %d (%d papers):\n", hub, egoTruth.NumUnique())
 	for _, e := range egoTruth.UniqueEdges() {
 		marker := "MISSED"

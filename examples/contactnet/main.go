@@ -8,28 +8,31 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"marioh"
 )
 
 func main() {
-	ds, err := marioh.GenerateDataset("pschool", 1)
+	r, err := marioh.New(marioh.WithSeed(1))
 	if err != nil {
 		panic(err)
 	}
-	src, tgt := ds.Source.Reduced(), ds.Target.Reduced()
+	pr, err := r.Pipeline(context.Background(), "pschool")
+	if err != nil {
+		panic(err)
+	}
+	ds := pr.Dataset
+	tgt := ds.Target.Reduced()
 	gT := tgt.Project()
 	fmt.Printf("primary-school analog: %d students, %d classes, %d contact groups\n",
 		gT.NumNodes(), numClasses(ds.Labels), tgt.NumUnique())
-
-	model := marioh.TrainModel(src.Project(), src, marioh.TrainOptions{Seed: 1})
-	res := marioh.Reconstruct(gT, model, marioh.Options{Seed: 1})
-	fmt.Printf("reconstruction Jaccard = %.3f\n", marioh.Jaccard(tgt, res.Hypergraph))
+	fmt.Printf("reconstruction Jaccard = %.3f\n", pr.Jaccard)
 
 	fmt.Println("\nspectral clustering NMI against class labels:")
 	fmt.Printf("  projected graph          %.4f\n", marioh.ClusteringNMI(gT, nil, ds.Labels, 1))
-	fmt.Printf("  MARIOH reconstruction    %.4f\n", marioh.ClusteringNMI(gT, res.Hypergraph, ds.Labels, 1))
+	fmt.Printf("  MARIOH reconstruction    %.4f\n", marioh.ClusteringNMI(gT, pr.Result.Hypergraph, ds.Labels, 1))
 	fmt.Printf("  ground-truth hypergraph  %.4f\n", marioh.ClusteringNMI(gT, tgt, ds.Labels, 1))
 }
 

@@ -1,10 +1,12 @@
 // Quickstart: build a tiny hypergraph, project it, train MARIOH on it, and
-// reconstruct the hypergraph back from the projection alone.
+// reconstruct the hypergraph back from the projection alone — all through
+// the Reconstructor service API.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"marioh"
@@ -26,13 +28,33 @@ func main() {
 	fmt.Printf("projected graph: %d nodes, %d edges, total weight %d\n",
 		g.NumNodes(), g.NumEdges(), g.TotalWeight())
 
+	// A zero-option Reconstructor is the paper's exact configuration; the
+	// progress option streams each round of the search.
+	ctx := context.Background()
+	r, err := marioh.New(
+		marioh.WithSeed(1),
+		marioh.WithProgress(func(p marioh.Progress) {
+			if p.Round > 0 {
+				fmt.Printf("  round %d: θ=%.2f, %d edges remain\n", p.Round, p.Theta, p.EdgesRemaining)
+			}
+		}),
+	)
+	if err != nil {
+		panic(err)
+	}
+
 	// Supervised setting: here we train on the same domain (the truth
 	// itself plays the source role; see examples/transfer for real
 	// cross-dataset transfer).
-	model := marioh.TrainModel(g, truth, marioh.TrainOptions{Seed: 1})
+	if _, err := r.Train(ctx, g, truth); err != nil {
+		panic(err)
+	}
 
 	// Reconstruct from the projection alone.
-	res := marioh.Reconstruct(g, model, marioh.Options{Seed: 1})
+	res, err := r.Reconstruct(ctx, g)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("reconstructed %d unique hyperedges (%d occurrences):\n",
 		res.Hypergraph.NumUnique(), res.Hypergraph.NumTotal())

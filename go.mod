@@ -1,0 +1,3 @@
+module marioh
+
+go 1.21

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"time"
@@ -86,22 +87,43 @@ func (o *TrainOptions) defaults() {
 // cliques that are not hyperedges, sampled to NegativeRatio× the positive
 // count (the negative-sampling strategy the paper defers to its appendix).
 func Train(gSrc *graph.Graph, hSrc *hypergraph.Hypergraph, opts TrainOptions) *Model {
+	m, _ := TrainContext(context.Background(), gSrc, hSrc, opts)
+	return m
+}
+
+// TrainContext is Train with cancellation: ctx is checked between the
+// sampling and optimization stages and once per training epoch. On
+// cancellation it returns (nil, ctx.Err()) — a partially trained model is
+// never handed out.
+func TrainContext(ctx context.Context, gSrc *graph.Graph, hSrc *hypergraph.Hypergraph, opts TrainOptions) (*Model, error) {
 	opts.defaults()
 	m := &Model{Feat: opts.Featurizer}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	X, y, nPos := BuildExamples(gSrc, hSrc, opts)
 	m.Stats.Positives = nPos
 	m.Stats.Negatives = len(X) - nPos
 	m.Stats.SampleTime = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	t1 := time.Now()
 	m.Std = mlp.FitStandardizer(X)
 	m.Std.TransformAll(X)
 	m.Net = mlp.New(m.Feat.Dim(), opts.Hidden, opts.Seed+1)
-	m.Net.Train(X, y, mlp.TrainOptions{Epochs: opts.Epochs, Seed: opts.Seed + 2})
+	m.Net.Train(X, y, mlp.TrainOptions{
+		Epochs: opts.Epochs, Seed: opts.Seed + 2,
+		Stop: func() bool { return ctx.Err() != nil },
+	})
 	m.Stats.TrainTime = time.Since(t1)
-	return m
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // BuildExamples assembles a labeled clique training (or evaluation) set

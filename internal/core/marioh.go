@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -10,14 +11,24 @@ import (
 
 // Options configure a reconstruction run (Algorithm 1's inputs θ_init, r,
 // α plus the ablation switches).
+//
+// Sentinel semantics: for the float parameters ThetaInit, R and Alpha the
+// zero value means "use the paper's default", so a zero-valued Options is
+// always the paper's configuration. A caller that genuinely wants a zero
+// parameter (e.g. α = 0 to freeze the threshold) passes any negative
+// value, which is resolved to exactly 0. The public marioh.Reconstructor
+// options perform this encoding automatically.
 type Options struct {
-	// ThetaInit is the initial classification threshold θ_init. Default 0.9.
+	// ThetaInit is the initial classification threshold θ_init.
+	// 0 = default 0.9; negative = exactly 0.
 	ThetaInit float64
 	// R is the negative prediction processing ratio r in percent.
-	// Default 40.
+	// 0 = default 40; negative = exactly 0 (no sub-clique exploration
+	// budget).
 	R float64
 	// Alpha is the threshold adjust ratio α: after each round,
-	// θ ← max(θ − α·θ_init, 0). Default 1/20 (the paper's setting).
+	// θ ← max(θ − α·θ_init, 0). 0 = default 1/20 (the paper's setting);
+	// negative = exactly 0, freezing θ at ThetaInit.
 	Alpha float64
 	// DisableFiltering skips the size-2 filtering step (MARIOH-F).
 	DisableFiltering bool
@@ -29,22 +40,57 @@ type Options struct {
 	// unlimited.
 	MaxCliqueLimit int
 	Seed           int64
+	// Progress, when non-nil, is invoked after every round of the outer
+	// loop with a snapshot of the run. Callbacks must be fast; they run on
+	// the reconstruction goroutine.
+	Progress ProgressFunc
+}
+
+// resolveNonNeg implements the Options sentinel for non-negative float
+// parameters: 0 means "default", negative means "exactly 0".
+func resolveNonNeg(v, def float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return def
+	default:
+		return v
+	}
 }
 
 func (o *Options) defaults() {
-	if o.ThetaInit <= 0 {
-		o.ThetaInit = 0.9
-	}
-	if o.R <= 0 {
-		o.R = 40
-	}
-	if o.Alpha <= 0 {
-		o.Alpha = 1.0 / 20
-	}
+	o.ThetaInit = resolveNonNeg(o.ThetaInit, 0.9)
+	o.R = resolveNonNeg(o.R, 40)
+	o.Alpha = resolveNonNeg(o.Alpha, 1.0/20)
 	if o.MaxRounds <= 0 {
 		o.MaxRounds = 10000
 	}
 }
+
+// Progress is a per-round snapshot of a reconstruction run, emitted to
+// Options.Progress after each outer-loop round (and once after the
+// filtering step, with Round 0).
+type Progress struct {
+	// Target is the batch index of the graph being reconstructed; 0 for
+	// single-target runs. Set by marioh.(*Reconstructor).ReconstructBatch.
+	Target int
+	// Round is the 1-based outer-loop round just completed; 0 reports the
+	// filtering step.
+	Round int
+	// Theta is the acceptance threshold θ used this round.
+	Theta float64
+	// EdgesRemaining is the residual graph's edge count after the round.
+	EdgesRemaining int
+	// AcceptedRound is the number of hyperedge occurrences accepted this
+	// round (for Round 0, the size-2 occurrences emitted by filtering).
+	AcceptedRound int
+	// AcceptedTotal is the cumulative number of accepted occurrences.
+	AcceptedTotal int
+}
+
+// ProgressFunc observes reconstruction progress.
+type ProgressFunc func(Progress)
 
 // StepTimes is the wall-clock breakdown of a reconstruction run, matching
 // the segments of the paper's Fig. 6 (filtering vs. bidirectional search).
@@ -67,47 +113,74 @@ type Result struct {
 // trained classifier m, returning the reconstructed hypergraph. The input
 // graph is not modified.
 func Reconstruct(g *graph.Graph, m *Model, opts Options) *Result {
+	res, _ := ReconstructContext(context.Background(), g, m, opts)
+	return res
+}
+
+// ReconstructContext is Reconstruct with cancellation: ctx is checked
+// between rounds and inside the bidirectional search, so long runs stop
+// promptly when the context is cancelled. On cancellation it returns the
+// partial reconstruction built so far together with ctx.Err().
+func ReconstructContext(ctx context.Context, g *graph.Graph, m *Model, opts Options) (*Result, error) {
 	opts.defaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	work := g.Clone()
 	rec := hypergraph.New(g.NumNodes())
 	res := &Result{Hypergraph: rec}
 
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	total := 0
 	if !opts.DisableFiltering {
 		t0 := time.Now()
 		res.FilteredSize2 = Filter(work, rec)
 		res.Times.Filtering = time.Since(t0)
+		total += res.FilteredSize2
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Round: 0, Theta: opts.ThetaInit, EdgesRemaining: work.NumEdges(),
+				AcceptedRound: res.FilteredSize2, AcceptedTotal: total,
+			})
+		}
 	}
 
 	theta := opts.ThetaInit
 	t1 := time.Now()
+	defer func() { res.Times.Bidirectional = time.Since(t1) }()
 	for round := 0; round < opts.MaxRounds && work.NumEdges() > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		res.Times.Rounds++
 		accepted := BidirectionalSearch(work, m, SearchOptions{
+			Ctx:               ctx,
 			Theta:             theta,
 			R:                 opts.R,
 			DisableSubcliques: opts.DisableBidirectional,
 			MaxCliqueLimit:    opts.MaxCliqueLimit,
 		}, rec, rng)
-		theta = maxf(theta-opts.Alpha*opts.ThetaInit, 0)
-		if accepted == 0 && theta == 0 {
-			// θ has bottomed out and nothing scored above zero — only
-			// possible in degenerate cases (e.g. an empty classifier);
-			// fall back to consuming the remaining edges as size-2
-			// hyperedges so the loop always terminates.
+		total += accepted
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Round: res.Times.Rounds, Theta: theta, EdgesRemaining: work.NumEdges(),
+				AcceptedRound: accepted, AcceptedTotal: total,
+			})
+		}
+		theta = max(theta-opts.Alpha*opts.ThetaInit, 0)
+		// The ctx.Err() guard keeps a cancelled round (which reports
+		// accepted == 0) from dumping the residual edges into what is
+		// documented as a partial result.
+		if accepted == 0 && (theta == 0 || opts.Alpha == 0) && ctx.Err() == nil {
+			// θ has bottomed out (or is frozen by α = 0) and nothing scored
+			// above it — only possible in degenerate cases (e.g. an empty
+			// classifier); fall back to consuming the remaining edges as
+			// size-2 hyperedges so the loop always terminates.
 			for _, e := range work.Edges() {
 				rec.AddMult([]int{e.U, e.V}, e.W)
 				work.RemoveEdge(e.U, e.V)
 			}
 		}
 	}
-	res.Times.Bidirectional = time.Since(t1)
-	return res
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
+	return res, ctx.Err()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -16,6 +17,10 @@ type scoredClique struct {
 
 // SearchOptions configure one round of BidirectionalSearch.
 type SearchOptions struct {
+	// Ctx, when non-nil, is polled between the phases of the round and
+	// while walking accepted cliques; cancellation makes the search return
+	// early with whatever it has accepted so far.
+	Ctx context.Context
 	// Theta is the current acceptance threshold θ.
 	Theta float64
 	// R is the negative prediction processing ratio r (%): the share of
@@ -40,12 +45,16 @@ type SearchOptions struct {
 // k-sub-clique per size k ∈ [2, |Q|−1], keeps those scoring above θ, and
 // accepts them the same way.
 func BidirectionalSearch(g *graph.Graph, m *Model, opts SearchOptions, rec *hypergraph.Hypergraph, rng *rand.Rand) int {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	limit := opts.MaxCliqueLimit
 	if limit <= 0 {
 		limit = -1
 	}
 	cliques := g.MaximalCliquesLimit(2, limit)
-	if len(cliques) == 0 {
+	if len(cliques) == 0 || ctx.Err() != nil {
 		return 0
 	}
 	scored := scoreCliques(g, m, cliques)
@@ -61,7 +70,10 @@ func BidirectionalSearch(g *graph.Graph, m *Model, opts SearchOptions, rec *hype
 	accepted := 0
 	// Phase 1: most promising cliques, highest score first.
 	sortByScoreDesc(pos)
-	for _, sc := range pos {
+	for i, sc := range pos {
+		if i&0x3ff == 0 && ctx.Err() != nil {
+			return accepted
+		}
 		if allEdgesPresent(g, sc.nodes) {
 			rec.Add(sc.nodes)
 			consumeClique(g, sc.nodes)
@@ -69,7 +81,7 @@ func BidirectionalSearch(g *graph.Graph, m *Model, opts SearchOptions, rec *hype
 		}
 	}
 
-	if opts.DisableSubcliques {
+	if opts.DisableSubcliques || ctx.Err() != nil {
 		return accepted
 	}
 
@@ -80,7 +92,10 @@ func BidirectionalSearch(g *graph.Graph, m *Model, opts SearchOptions, rec *hype
 		nNeg = len(rest)
 	}
 	var subs []scoredClique
-	for _, sc := range rest[:nNeg] {
+	for i, sc := range rest[:nNeg] {
+		if i&0x3ff == 0 && ctx.Err() != nil {
+			return accepted
+		}
 		q := sc.nodes
 		for k := 2; k <= len(q)-1; k++ {
 			sub := sampleSubset(q, k, rng)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -27,6 +28,17 @@ type RunConfig struct {
 	// Quick halves training epochs and skips the slowest baselines where a
 	// table allows it.
 	Quick bool
+	// Context, when non-nil, cancels in-flight MARIOH reconstructions (the
+	// baselines poll their own deadlines); cmd/benchall wires it to
+	// SIGINT. Defaults to context.Background().
+	Context context.Context
+}
+
+func (c RunConfig) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 func (c RunConfig) defaults() RunConfig {
@@ -71,6 +83,9 @@ var MultiplicityMethodNames = []string{
 // MARIOH/-F/-B variants share the multiplicity-aware model, MARIOH-M uses
 // the SHyRe-Count featurizer inside the MARIOH search.
 func buildMethods(src *hypergraph.Hypergraph, seed int64, cfg RunConfig, which []string) map[string]reconstructor {
+	// Re-apply defaults: a caller passing a zero RunConfig must not hand
+	// the MARIOH variants an already-expired zero-duration timeout.
+	cfg = cfg.defaults()
 	wanted := make(map[string]bool)
 	if which == nil {
 		which = MethodNames
@@ -91,9 +106,19 @@ func buildMethods(src *hypergraph.Hypergraph, seed int64, cfg RunConfig, which [
 			Featurizer: features.ShyreCount{}, Seed: seed, Epochs: cfg.epochs(),
 		})
 	}
+	// MARIOH variants honor the per-run budget through context, the same
+	// cancellation path the public Reconstructor API uses; exceeding it
+	// surfaces as an error and is rendered as OOT.
 	mariohRec := func(m *core.Model, opt core.Options) reconstructor {
 		return func(g *graph.Graph) (*hypergraph.Hypergraph, error) {
-			res := core.Reconstruct(g, m, opt)
+			ctx, cancel := context.WithTimeout(cfg.ctx(), cfg.Timeout)
+			defer cancel()
+			res, err := core.ReconstructContext(ctx, g, m, opt)
+			if err != nil {
+				// The tables render every failure as OOT, matching the
+				// baselines' deadline sentinel.
+				return nil, baselines.ErrTimeout
+			}
 			return res.Hypergraph, nil
 		}
 	}

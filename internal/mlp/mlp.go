@@ -86,6 +86,10 @@ type TrainOptions struct {
 	LR        float64 // Adam step size (default 1e-3)
 	L2        float64 // weight decay (default 1e-5)
 	Seed      int64   // shuffling seed
+	// Stop is polled before every epoch; returning true aborts training,
+	// keeping the weights of the epochs completed so far. Used to thread
+	// context cancellation down without importing context here.
+	Stop func() bool
 }
 
 func (o *TrainOptions) defaults() {
@@ -121,6 +125,9 @@ func (n *Net) Train(X [][]float64, y []float64, opts TrainOptions) float64 {
 	}
 	lastLoss := 0.0
 	for ep := 0; ep < opts.Epochs; ep++ {
+		if opts.Stop != nil && opts.Stop() {
+			break
+		}
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		total := 0.0
 		for start := 0; start < len(order); start += opts.BatchSize {

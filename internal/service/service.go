@@ -1,0 +1,138 @@
+// Package service is the name-resolution layer behind the public
+// marioh.Reconstructor API: it maps the algorithm-variant and featurizer
+// names used by CLIs, config files and tests to the concrete switches and
+// implementations under internal/, so callers can select them without
+// importing the implementation packages. It also accepts runtime
+// registration of custom featurizers, the extension point later serving
+// PRs (sharding, caching, remote models) will build on.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"marioh/internal/features"
+)
+
+// Variant names a MARIOH algorithm configuration: the full method or one
+// of the paper's ablations (Tables II and III).
+type Variant struct {
+	// Name is the registry key ("marioh", "marioh-m", "marioh-f",
+	// "marioh-b").
+	Name string
+	// Description is a one-line human-readable summary for CLI listings.
+	Description string
+	// Featurizer is the name of the clique featurizer the variant trains
+	// with, resolved via FeaturizerByName.
+	Featurizer string
+	// DisableFiltering skips the guaranteed size-2 filtering step.
+	DisableFiltering bool
+	// DisableBidirectional skips sub-clique exploration.
+	DisableBidirectional bool
+}
+
+// variants is the built-in registry, in presentation order.
+var variants = []Variant{
+	{
+		Name:        "marioh",
+		Description: "full MARIOH: multiplicity-aware features, size-2 filtering, bidirectional search",
+		Featurizer:  "marioh",
+	},
+	{
+		Name:        "marioh-m",
+		Description: "MARIOH-M ablation: multiplicity-unaware (SHyRe count) features",
+		Featurizer:  "shyre-count",
+	},
+	{
+		Name:             "marioh-f",
+		Description:      "MARIOH-F ablation: no guaranteed size-2 filtering",
+		Featurizer:       "marioh",
+		DisableFiltering: true,
+	},
+	{
+		Name:                 "marioh-b",
+		Description:          "MARIOH-B ablation: no sub-clique (bidirectional) exploration",
+		Featurizer:           "marioh",
+		DisableBidirectional: true,
+	},
+}
+
+// VariantNames lists the registered variants in presentation order.
+func VariantNames() []string {
+	out := make([]string, len(variants))
+	for i, v := range variants {
+		out[i] = v.Name
+	}
+	return out
+}
+
+// Variants returns the full variant descriptors in presentation order.
+func Variants() []Variant {
+	out := make([]Variant, len(variants))
+	copy(out, variants)
+	return out
+}
+
+// VariantByName resolves a variant by its registry key.
+func VariantByName(name string) (Variant, bool) {
+	for _, v := range variants {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Variant{}, false
+}
+
+// builtinFeaturizers are the names resolvable through features.ByName.
+var builtinFeaturizers = []string{"marioh", "marioh-nomhh", "shyre-count", "shyre-motif"}
+
+var (
+	customMu          sync.RWMutex
+	customFeaturizers = map[string]features.Featurizer{}
+)
+
+// RegisterFeaturizer adds a custom featurizer under f.Name(). It fails if
+// the name is empty or already taken (built-in or previously registered).
+func RegisterFeaturizer(f features.Featurizer) error {
+	name := f.Name()
+	if name == "" {
+		return fmt.Errorf("service: featurizer has an empty name")
+	}
+	if _, ok := features.ByName(name); ok {
+		return fmt.Errorf("service: featurizer %q is built in", name)
+	}
+	customMu.Lock()
+	defer customMu.Unlock()
+	if _, ok := customFeaturizers[name]; ok {
+		return fmt.Errorf("service: featurizer %q already registered", name)
+	}
+	customFeaturizers[name] = f
+	return nil
+}
+
+// FeaturizerByName resolves a featurizer: the built-ins first, then any
+// runtime registrations.
+func FeaturizerByName(name string) (features.Featurizer, bool) {
+	if f, ok := features.ByName(name); ok {
+		return f, true
+	}
+	customMu.RLock()
+	defer customMu.RUnlock()
+	f, ok := customFeaturizers[name]
+	return f, ok
+}
+
+// FeaturizerNames lists every resolvable featurizer: built-ins in their
+// canonical order, then custom registrations sorted by name.
+func FeaturizerNames() []string {
+	out := append([]string(nil), builtinFeaturizers...)
+	customMu.RLock()
+	custom := make([]string, 0, len(customFeaturizers))
+	for name := range customFeaturizers {
+		custom = append(custom, name)
+	}
+	customMu.RUnlock()
+	sort.Strings(custom)
+	return append(out, custom...)
+}

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"testing"
+
+	"marioh/internal/features"
+	"marioh/internal/graph"
+)
+
+func TestVariantRegistry(t *testing.T) {
+	names := VariantNames()
+	if len(names) != 4 || names[0] != "marioh" {
+		t.Fatalf("VariantNames = %v", names)
+	}
+	for _, name := range names {
+		v, ok := VariantByName(name)
+		if !ok {
+			t.Fatalf("VariantByName(%q) missing", name)
+		}
+		if v.Name != name || v.Description == "" {
+			t.Fatalf("bad descriptor for %q: %+v", name, v)
+		}
+		if _, ok := FeaturizerByName(v.Featurizer); !ok {
+			t.Fatalf("variant %q references unknown featurizer %q", name, v.Featurizer)
+		}
+	}
+	if _, ok := VariantByName("nope"); ok {
+		t.Fatal("unknown variant must not resolve")
+	}
+	full, _ := VariantByName("marioh")
+	if full.DisableFiltering || full.DisableBidirectional {
+		t.Fatal("full variant must enable every step")
+	}
+	fv, _ := VariantByName("marioh-f")
+	if !fv.DisableFiltering {
+		t.Fatal("marioh-f must disable filtering")
+	}
+	bv, _ := VariantByName("marioh-b")
+	if !bv.DisableBidirectional {
+		t.Fatal("marioh-b must disable bidirectional search")
+	}
+}
+
+func TestFeaturizerResolution(t *testing.T) {
+	for _, name := range FeaturizerNames() {
+		f, ok := FeaturizerByName(name)
+		if !ok {
+			t.Fatalf("FeaturizerByName(%q) missing", name)
+		}
+		if f.Name() != name {
+			t.Fatalf("featurizer %q reports name %q", name, f.Name())
+		}
+	}
+	if _, ok := FeaturizerByName("nope"); ok {
+		t.Fatal("unknown featurizer must not resolve")
+	}
+}
+
+// constFeat is a trivial custom featurizer for registration tests.
+type constFeat struct{ name string }
+
+func (c constFeat) Name() string { return c.name }
+func (c constFeat) Dim() int     { return 1 }
+func (c constFeat) Features(_ *graph.Graph, _ []int, _ bool) []float64 {
+	return []float64{1}
+}
+
+var _ features.Featurizer = constFeat{}
+
+func TestRegisterFeaturizer(t *testing.T) {
+	if err := RegisterFeaturizer(constFeat{name: "custom-test"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := FeaturizerByName("custom-test"); !ok {
+		t.Fatal("registered featurizer must resolve")
+	}
+	found := false
+	for _, n := range FeaturizerNames() {
+		if n == "custom-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("FeaturizerNames misses registration: %v", FeaturizerNames())
+	}
+	if err := RegisterFeaturizer(constFeat{name: "custom-test"}); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+	if err := RegisterFeaturizer(constFeat{name: "marioh"}); err == nil {
+		t.Fatal("shadowing a built-in must fail")
+	}
+	if err := RegisterFeaturizer(constFeat{name: ""}); err == nil {
+		t.Fatal("empty name must fail")
+	}
+}

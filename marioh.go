@@ -5,13 +5,28 @@
 // multiplicities ω(u, v) that record how many hyperedges contain each node
 // pair.
 //
-// The typical flow mirrors the paper's Problem 1 (supervised hypergraph
+// The entry point is the Reconstructor service: configure it once with
+// functional options, train it (or attach a saved model), then reconstruct
+// any number of targets with context cancellation and progress reporting.
+// The flow mirrors the paper's Problem 1 (supervised hypergraph
 // reconstruction):
 //
 //	src, tgt := ...                            // same-domain hypergraphs
-//	model := marioh.TrainModel(src.Project(), src, marioh.TrainOptions{})
-//	result := marioh.Reconstruct(tgt.Project(), model, marioh.Options{})
-//	fmt.Println(marioh.Jaccard(tgt, result.Hypergraph))
+//	r, _ := marioh.New(marioh.WithSeed(1))     // zero options = the paper's setup
+//	r.Train(ctx, src.Project(), src)
+//	res, err := r.Reconstruct(ctx, tgt.Project())
+//	if err == nil {
+//		fmt.Println(marioh.Jaccard(tgt, res.Hypergraph))
+//	}
+//
+// Batch workloads fan out with r.ReconstructBatch(ctx, targets) under
+// marioh.WithParallelism(n), and r.Pipeline(ctx, "crime") runs the full
+// generate→train→reconstruct→evaluate protocol on a named dataset.
+// Algorithm variants and featurizers are resolved by name: see
+// WithVariant, WithFeaturizer and RegisterFeaturizer.
+//
+// The free functions TrainModel and Reconstruct are the pre-service API,
+// kept as thin deprecated wrappers.
 //
 // The exported names are aliases of the implementation packages under
 // internal/, so the full method sets of Hypergraph, Graph and Model are
@@ -28,6 +43,7 @@ import (
 	"marioh/internal/features"
 	"marioh/internal/graph"
 	"marioh/internal/hypergraph"
+	"marioh/internal/service"
 )
 
 // Hypergraph is a multiset of hyperedges with per-hyperedge multiplicity.
@@ -62,12 +78,22 @@ func NewGraph(n int) *Graph { return graph.New(n) }
 
 // TrainModel fits the multiplicity-aware classifier on a source projected
 // graph and its ground-truth hypergraph (the supervision of Problem 1).
+//
+// Deprecated: use New and (*Reconstructor).Train, which add context
+// cancellation, progress events and named variants. TrainModel is
+// equivalent to training a zero-option Reconstructor with the same
+// TrainOptions.
 func TrainModel(gSrc *Graph, hSrc *Hypergraph, opts TrainOptions) *Model {
 	return core.Train(gSrc, hSrc, opts)
 }
 
 // Reconstruct runs MARIOH on a target projected graph: guaranteed size-2
 // filtering followed by iterative bidirectional clique search.
+//
+// Deprecated: use New and (*Reconstructor).Reconstruct (or
+// ReconstructBatch for many targets), which add context cancellation,
+// progress events and named variants. Reconstruct is equivalent to a
+// zero-option Reconstructor run with the same Options.
 func Reconstruct(gTgt *Graph, m *Model, opts Options) *Result {
 	return core.Reconstruct(gTgt, m, opts)
 }
@@ -94,8 +120,9 @@ func LoadModel(r io.Reader) (*Model, error) { return core.LoadModel(r) }
 type Featurizer = features.Featurizer
 
 // FeaturizerByName resolves a featurizer: "marioh" (the multiplicity-aware
-// default), "marioh-nomhh", "shyre-count", or "shyre-motif".
-func FeaturizerByName(name string) (Featurizer, bool) { return features.ByName(name) }
+// default), "marioh-nomhh", "shyre-count", "shyre-motif", or any custom
+// featurizer added via RegisterFeaturizer.
+func FeaturizerByName(name string) (Featurizer, bool) { return service.FeaturizerByName(name) }
 
 // ReadHypergraph parses the line-oriented hyperedge format ("u v w ..."
 // per hyperedge, optional "# mult" suffix).

@@ -1,6 +1,7 @@
 package marioh_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -9,21 +10,33 @@ import (
 )
 
 // Example demonstrates the documented package-level flow: project a
-// hypergraph, train on it, and reconstruct it from the projection alone.
+// hypergraph, train a Reconstructor on it, and reconstruct the hypergraph
+// from the projection alone.
 func Example() {
 	truth := marioh.NewHypergraph(6)
 	truth.Add([]int{0, 1, 2})
 	truth.Add([]int{3, 4})
 	truth.Add([]int{4, 5})
 
+	ctx := context.Background()
 	g := truth.Project()
-	model := marioh.TrainModel(g, truth, marioh.TrainOptions{Seed: 1})
-	res := marioh.Reconstruct(g, model, marioh.Options{Seed: 1})
+	r, err := marioh.New(marioh.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	if _, err := r.Train(ctx, g, truth); err != nil {
+		panic(err)
+	}
+	res, err := r.Reconstruct(ctx, g)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("Jaccard %.2f\n", marioh.Jaccard(truth, res.Hypergraph))
 	// Output: Jaccard 1.00
 }
 
-// TestPublicAPIEndToEnd exercises the documented package-level flow.
+// TestPublicAPIEndToEnd exercises the deprecated free-function flow, which
+// must keep working unchanged.
 func TestPublicAPIEndToEnd(t *testing.T) {
 	truth := marioh.NewHypergraph(9)
 	truth.AddMult([]int{0, 1}, 2)
