@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build fmt fmt-fix vet test race bench check
+# Substrate micro-benchmarks: the adjacency-engine hot paths tracked across
+# PRs (compare runs with benchstat; see README "Benchmarks").
+BENCH_SUBSTRATE ?= BenchmarkHasEdge|BenchmarkMaximalCliques|BenchmarkScoreCliques|BenchmarkFeatures|BenchmarkDegeneracyOrdering|BenchmarkCommonNeighborCount|BenchmarkSumMinCommonWeight|BenchmarkMLPForward
+
+.PHONY: all build fmt fmt-fix vet test race bench bench-substrate bench-json check
 
 all: check build
 
@@ -27,5 +31,21 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Human-readable substrate benchmark run.
+bench-substrate:
+	$(GO) test -run '^$$' -bench '$(BENCH_SUBSTRATE)' -benchmem .
+
+# Record the substrate benchmarks into BENCH_<date>.json (test2json event
+# stream; the benchmark result lines are in the "Output" fields) so the
+# perf trajectory of the repo is kept under version control. Refuses to
+# overwrite an existing recording.
+bench-json:
+	@out=BENCH_$$(date +%Y-%m-%d).json; \
+	if [ -e "$$out" ]; then \
+		echo "$$out already exists; move it aside to re-record"; exit 1; \
+	fi; \
+	$(GO) test -run '^$$' -bench '$(BENCH_SUBSTRATE)' -benchmem -json . > "$$out" && \
+	echo "recorded $$out"
 
 check: fmt vet test

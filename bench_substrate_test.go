@@ -1,0 +1,139 @@
+package marioh_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"marioh/internal/core"
+	"marioh/internal/datasets"
+	"marioh/internal/features"
+	"marioh/internal/mlp"
+)
+
+// Substrate micro-benchmarks: the adjacency-engine operations that dominate
+// per-round reconstruction time (see README "Adjacency engine"). Run with
+//
+//	go test -run '^$' -bench 'HasEdge|MaximalCliques|ScoreCliques|FeaturesMarioh' -benchmem .
+//
+// and compare before/after with benchstat. `make bench-json` records a run
+// into BENCH_<date>.json.
+
+// benchGraph caches the eu target projection used by the substrate benches.
+func benchGraph(b *testing.B) *trainedSetup {
+	b.Helper()
+	return setup(b, "eu")
+}
+
+// BenchmarkHasEdge probes a deterministic mix of present and absent pairs,
+// the access pattern of Bron–Kerbosch pivoting and allEdgesPresent checks.
+func BenchmarkHasEdge(b *testing.B) {
+	g := benchGraph(b).gT
+	edges := g.Edges()
+	rng := rand.New(rand.NewSource(7))
+	const nPairs = 4096
+	us := make([]int, nPairs)
+	vs := make([]int, nPairs)
+	for i := 0; i < nPairs; i++ {
+		if i%2 == 0 { // present pair
+			e := edges[rng.Intn(len(edges))]
+			us[i], vs[i] = e.U, e.V
+		} else { // random (usually absent) pair
+			us[i] = rng.Intn(g.NumNodes())
+			vs[i] = (us[i] + 1 + rng.Intn(g.NumNodes()-1)) % g.NumNodes()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		j := i % nPairs
+		if g.HasEdge(us[j], vs[j]) {
+			hits++
+		}
+	}
+	_ = hits
+}
+
+// BenchmarkScoreCliques measures the full steady-state scoring pass
+// (features + standardize + MLP forward) over one round's maximal cliques.
+func BenchmarkScoreCliques(b *testing.B) {
+	s := benchGraph(b)
+	cliques := s.gT.MaximalCliques(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ScoreCliques(s.gT, s.model, cliques)
+	}
+}
+
+// BenchmarkFeaturesMarioh isolates the multiplicity-aware featurizer (the
+// WeightedDegree / ω / MHH access pattern) on the steady-state scratch
+// path used by clique scoring.
+func BenchmarkFeaturesMarioh(b *testing.B) {
+	g := benchGraph(b).gT
+	cliques := g.MaximalCliques(2)
+	feat := features.Marioh{}
+	var s features.Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := cliques[i%len(cliques)]
+		features.Compute(feat, &s, g, q, true)
+	}
+}
+
+// BenchmarkFeaturesShyreMotif covers the common-neighbor-count sharing path
+// of the SHyRe-Motif featurizer.
+func BenchmarkFeaturesShyreMotif(b *testing.B) {
+	g := benchGraph(b).gT
+	cliques := g.MaximalCliques(2)
+	feat := features.ShyreMotif{}
+	var s features.Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := cliques[i%len(cliques)]
+		features.Compute(feat, &s, g, q, true)
+	}
+}
+
+// BenchmarkMLPForwardScratch is the steady-state forward pass with reused
+// activation buffers, as driven by clique scoring.
+func BenchmarkMLPForwardScratch(b *testing.B) {
+	net := mlp.New(23, []int{32, 16}, 1)
+	x := make([]float64, 23)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	var s mlp.Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardScratch(x, &s)
+	}
+}
+
+// BenchmarkDegeneracyOrdering exercises the bucket-queue peel that seeds
+// every maximal-clique enumeration.
+func BenchmarkDegeneracyOrdering(b *testing.B) {
+	g := benchGraph(b).gT
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.DegeneracyOrdering()
+	}
+}
+
+// BenchmarkCommonNeighborCount measures the merge-based intersection size
+// used by the SHyRe featurizers.
+func BenchmarkCommonNeighborCount(b *testing.B) {
+	ds := datasets.MustByName("eu", 1)
+	g := ds.Target.Reduced().Project()
+	edges := g.Edges()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		g.CountCommonNeighbors(e.U, e.V)
+	}
+}

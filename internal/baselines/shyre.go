@@ -2,7 +2,6 @@ package baselines
 
 import (
 	"math/rand"
-	"sort"
 	"time"
 
 	"marioh/internal/core"
@@ -149,6 +148,7 @@ func (s *Shyre) Reconstruct(g *graph.Graph) (*hypergraph.Hypergraph, error) {
 	rng := rand.New(rand.NewSource(s.Seed + 17))
 	rec := hypergraph.New(g.NumNodes())
 	cliques := g.MaximalCliquesLimit(2, s.limit())
+	var ps core.PermSampler
 
 	accept := func(q []int, maximal bool) {
 		if rec.Contains(q) {
@@ -171,20 +171,10 @@ func (s *Shyre) Reconstruct(g *graph.Graph) (*hypergraph.Hypergraph, error) {
 				draws++
 			}
 			for d := 0; d < draws; d++ {
-				sub := sampleSubsetSorted(q, k, rng)
+				sub := ps.Sample(q, k, rng)
 				accept(sub, false)
 			}
 		}
 	}
 	return rec, nil
-}
-
-func sampleSubsetSorted(q []int, k int, rng *rand.Rand) []int {
-	idx := rng.Perm(len(q))[:k]
-	out := make([]int, k)
-	for i, j := range idx {
-		out[i] = q[j]
-	}
-	sort.Ints(out)
-	return out
 }

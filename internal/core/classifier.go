@@ -164,13 +164,14 @@ func BuildExamples(gSrc *graph.Graph, hSrc *hypergraph.Hypergraph, opts TrainOpt
 		}
 	}
 	// Top up with random sub-cliques of random maximal cliques.
+	var ps PermSampler
 	for attempts := 0; len(negs) < want && attempts < 50*want+100 && len(maximal) > 0; attempts++ {
 		q := maximal[rng.Intn(len(maximal))]
 		if len(q) < 3 {
 			continue
 		}
 		k := 2 + rng.Intn(len(q)-2) // k in [2, |q|-1]
-		sub := sampleSubset(q, k, rng)
+		sub := ps.Sample(q, k, rng)
 		if !hSrc.Contains(sub) {
 			negs = append(negs, feat.Features(gSrc, sub, false))
 		}
@@ -185,9 +186,24 @@ func BuildExamples(gSrc *graph.Graph, hSrc *hypergraph.Hypergraph, opts TrainOpt
 // Score returns the classifier's probability that clique q of g is a true
 // hyperedge.
 func (m *Model) Score(g *graph.Graph, q []int, maximal bool) float64 {
-	f := m.Feat.Features(g, q, maximal)
+	var sc scorer
+	return m.scoreScratch(g, q, maximal, &sc)
+}
+
+// scorer bundles the per-worker reusable buffers of the scoring hot path:
+// feature staging, the standardized vector, and the MLP activations. With
+// one scorer per worker, steady-state clique scoring performs zero heap
+// allocations. A scorer must not be shared between goroutines.
+type scorer struct {
+	feat features.Scratch
+	fwd  mlp.Scratch
+}
+
+// scoreScratch is Score with caller-owned buffers; bit-identical results.
+func (m *Model) scoreScratch(g *graph.Graph, q []int, maximal bool, sc *scorer) float64 {
+	f := features.Compute(m.Feat, &sc.feat, g, q, maximal)
 	m.Std.Transform(f)
-	return m.Net.Forward(f)
+	return m.Net.ForwardScratch(f, &sc.fwd)
 }
 
 // isMaximalClique reports whether q (assumed to be a clique of g) has no
@@ -222,11 +238,31 @@ func isMaximalClique(g *graph.Graph, q []int) bool {
 	return !found
 }
 
-// sampleSubset returns a sorted random k-subset of q.
-func sampleSubset(q []int, k int, rng *rand.Rand) []int {
-	idx := rng.Perm(len(q))[:k]
+// PermSampler draws sorted random k-subsets of a slice while reusing one
+// permutation buffer between draws. The buffer replays exactly the Intn
+// draw sequence of rand.Perm — including the throwaway Intn(1) of its
+// first iteration — so seeded outputs are bit-for-bit identical to an
+// rng.Perm-based sampler, just without the per-call permutation
+// allocation. Shared by the MARIOH search and the SHyRe baselines; not
+// safe for concurrent use. The zero value is ready to use.
+type PermSampler struct {
+	perm []int
+}
+
+// Sample returns a sorted random k-subset of q.
+func (ps *PermSampler) Sample(q []int, k int, rng *rand.Rand) []int {
+	n := len(q)
+	if cap(ps.perm) < n {
+		ps.perm = make([]int, n)
+	}
+	p := ps.perm[:n]
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
 	out := make([]int, k)
-	for i, j := range idx {
+	for i, j := range p[:k] {
 		out[i] = q[j]
 	}
 	sort.Ints(out)

@@ -26,12 +26,15 @@ func ScoreCliques(g *graph.Graph, m *Model, cliques [][]int) []float64 {
 // scoreCliques evaluates the classifier on every maximal clique. Scoring is
 // read-only on the graph and the model, so rounds with many cliques fan
 // out across GOMAXPROCS workers; results are written by index, keeping the
-// output identical to the sequential path.
+// output identical to the sequential path. Each worker owns one scorer, so
+// the whole pass reuses feature and activation buffers instead of
+// allocating per clique.
 func scoreCliques(g *graph.Graph, m *Model, cliques [][]int) []scoredClique {
 	scored := make([]scoredClique, len(cliques))
 	if len(cliques) < scoreParallelThreshold {
+		var sc scorer
 		for i, q := range cliques {
-			scored[i] = scoredClique{nodes: q, score: m.Score(g, q, true)}
+			scored[i] = scoredClique{nodes: q, score: m.scoreScratch(g, q, true, &sc)}
 		}
 		return scored
 	}
@@ -53,8 +56,9 @@ func scoreCliques(g *graph.Graph, m *Model, cliques [][]int) []scoredClique {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			var sc scorer
 			for i := lo; i < hi; i++ {
-				scored[i] = scoredClique{nodes: cliques[i], score: m.Score(g, cliques[i], true)}
+				scored[i] = scoredClique{nodes: cliques[i], score: m.scoreScratch(g, cliques[i], true, &sc)}
 			}
 		}(lo, hi)
 	}

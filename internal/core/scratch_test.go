@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"marioh/internal/features"
+)
+
+// TestPermSamplerMatchesRandPerm pins the determinism contract of the
+// allocation-reduced subset sampler: for the same seeded rng it must return
+// exactly what the old rng.Perm-based sampler returned AND leave the rng
+// stream in the same position, so seeded reconstruction output is
+// bit-for-bit unchanged.
+func TestPermSamplerMatchesRandPerm(t *testing.T) {
+	q := []int{3, 14, 15, 92, 65, 35, 89, 79}
+	for seed := int64(0); seed < 20; seed++ {
+		for k := 1; k <= len(q); k++ {
+			rngA := rand.New(rand.NewSource(seed))
+			rngB := rand.New(rand.NewSource(seed))
+
+			var ps PermSampler
+			got := ps.Sample(q, k, rngA)
+
+			idx := rngB.Perm(len(q))[:k]
+			want := make([]int, k)
+			for i, j := range idx {
+				want[i] = q[j]
+			}
+			sort.Ints(want)
+
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d k %d: sample %v, want %v", seed, k, got, want)
+			}
+			if a, b := rngA.Int63(), rngB.Int63(); a != b {
+				t.Fatalf("seed %d k %d: rng stream diverged (%d vs %d)", seed, k, a, b)
+			}
+		}
+	}
+}
+
+// TestScoreScratchMatchesScore: the per-worker scratch path must reproduce
+// Model.Score bit for bit on every built-in featurizer.
+func TestScoreScratchMatchesScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	h := randomHypergraph(rng, 14, 12)
+	g := h.Project()
+	for _, name := range []string{"marioh", "marioh-nomhh", "shyre-count", "shyre-motif"} {
+		feat, ok := features.ByName(name)
+		if !ok {
+			t.Fatalf("featurizer %q missing", name)
+		}
+		m := Train(g, h, TrainOptions{Seed: 7, Epochs: 5, Featurizer: feat})
+		var sc scorer
+		for _, q := range g.MaximalCliques(2) {
+			want := m.Score(g, q, true)
+			if got := m.scoreScratch(g, q, true, &sc); got != want {
+				t.Fatalf("%s: scratch score %v != %v for %v", name, got, want, q)
+			}
+			// Reuse across calls must not leak state between cliques.
+			if got := m.scoreScratch(g, q, false, &sc); got != m.Score(g, q, false) {
+				t.Fatalf("%s: scratch score diverges on reuse for %v", name, q)
+			}
+		}
+	}
+}
+
+// TestScoreCliquesAllocationFree: the steady-state scoring pass must not
+// allocate per clique (a handful of setup allocations are allowed).
+func TestScoreCliquesAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	h := randomHypergraph(rng, 40, 120)
+	g := h.Project()
+	m := Train(g, h, TrainOptions{Seed: 3, Epochs: 3})
+	cliques := g.MaximalCliques(2)
+	if len(cliques) < 20 {
+		t.Fatalf("want a meaty round, got %d cliques", len(cliques))
+	}
+	var sc scorer
+	// Warm the scratch, then measure.
+	for _, q := range cliques {
+		m.scoreScratch(g, q, true, &sc)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for _, q := range cliques {
+			m.scoreScratch(g, q, true, &sc)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state scoring allocates %.1f times per round over %d cliques, want 0",
+			allocs, len(cliques))
+	}
+}
+
+// TestScoreCliquesScratchParallelMatchesSequential: the chunked fan-out
+// with per-worker scratch must reproduce the sequential scores exactly.
+func TestScoreCliquesScratchParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	h := randomHypergraph(rng, 30, 80)
+	g := h.Project()
+	m := Train(g, h, TrainOptions{Seed: 5, Epochs: 3})
+	base := g.MaximalCliques(2)
+	// Replicate cliques past the parallel threshold.
+	var cliques [][]int
+	for len(cliques) < scoreParallelThreshold+37 {
+		cliques = append(cliques, base...)
+	}
+	par := ScoreCliques(g, m, cliques)
+	var sc scorer
+	for i, q := range cliques {
+		if want := m.scoreScratch(g, q, true, &sc); par[i] != want {
+			t.Fatalf("clique %d: parallel %v != sequential %v", i, par[i], want)
+		}
+	}
+}

@@ -92,14 +92,16 @@ func BidirectionalSearch(g *graph.Graph, m *Model, opts SearchOptions, rec *hype
 		nNeg = len(rest)
 	}
 	var subs []scoredClique
+	var ps PermSampler
+	var scorerBuf scorer
 	for i, sc := range rest[:nNeg] {
 		if i&0x3ff == 0 && ctx.Err() != nil {
 			return accepted
 		}
 		q := sc.nodes
 		for k := 2; k <= len(q)-1; k++ {
-			sub := sampleSubset(q, k, rng)
-			if s := m.Score(g, sub, false); s > opts.Theta {
+			sub := ps.Sample(q, k, rng)
+			if s := m.scoreScratch(g, sub, false, &scorerBuf); s > opts.Theta {
 				subs = append(subs, scoredClique{nodes: sub, score: s})
 			}
 		}

@@ -9,6 +9,12 @@
 // fixed-width float vector. Node- and edge-level feature families are
 // summarized into five aggregates each — sum, mean, min, max, and standard
 // deviation — exactly as the paper prescribes.
+//
+// Every built-in featurizer also implements AppendFeaturizer, the
+// allocation-free path: Compute with a per-worker Scratch reuses staging
+// and output buffers, so scoring a clique in the steady state performs no
+// heap allocations. Custom featurizers that only implement Featurizer keep
+// working through the same entry point at the cost of an allocation.
 package features
 
 import (
@@ -26,6 +32,44 @@ type Featurizer interface {
 	// Features computes the vector for clique Q of g. maximal tells whether
 	// Q is a maximal clique of the graph it was enumerated from.
 	Features(g *graph.Graph, clique []int, maximal bool) []float64
+}
+
+// AppendFeaturizer is the allocation-free extension of Featurizer: the
+// vector is appended to dst and temporaries come from the caller's Scratch.
+type AppendFeaturizer interface {
+	Featurizer
+	// AppendFeatures appends exactly Dim() values — the same values
+	// Features would return — to dst and returns the extended slice.
+	AppendFeatures(dst []float64, s *Scratch, g *graph.Graph, clique []int, maximal bool) []float64
+}
+
+// Scratch holds the reusable buffers of one feature-extraction worker. It
+// must not be shared between goroutines. The zero value is ready to use.
+type Scratch struct {
+	node, edge1, edge2, edge3 []float64 // value-family staging
+	out                       []float64 // Compute's result buffer
+	pair                      graph.PairScratch
+}
+
+// Compute evaluates f on the clique. When f supports the allocation-free
+// path the result lives in s's reusable output buffer and is only valid
+// until the next Compute call with the same Scratch; otherwise it falls
+// back to f.Features.
+func Compute(f Featurizer, s *Scratch, g *graph.Graph, clique []int, maximal bool) []float64 {
+	if af, ok := f.(AppendFeaturizer); ok {
+		s.out = af.AppendFeatures(s.out[:0], s, g, clique, maximal)
+		return s.out
+	}
+	return f.Features(g, clique, maximal)
+}
+
+// stage returns a zero-length slice with capacity ≥ n backed by *p, growing
+// the backing array only when needed.
+func stage(p *[]float64, n int) []float64 {
+	if cap(*p) < n {
+		*p = make([]float64, 0, n)
+	}
+	return (*p)[:0]
 }
 
 // aggStats appends the five-dimensional aggregate (sum, mean, min, max,
@@ -70,49 +114,52 @@ func (Marioh) Name() string { return "marioh" }
 func (Marioh) Dim() int { return 23 }
 
 // Features implements Featurizer.
-func (Marioh) Features(g *graph.Graph, q []int, maximal bool) []float64 {
-	out := make([]float64, 0, 23)
+func (m Marioh) Features(g *graph.Graph, q []int, maximal bool) []float64 {
+	var s Scratch
+	return m.AppendFeatures(make([]float64, 0, 23), &s, g, q, maximal)
+}
 
-	nodeVals := make([]float64, len(q))
+// AppendFeatures implements AppendFeaturizer.
+func (Marioh) AppendFeatures(dst []float64, s *Scratch, g *graph.Graph, q []int, maximal bool) []float64 {
+	nodeVals := stage(&s.node, len(q))
 	sumWDeg := 0.0
-	for i, u := range q {
+	for _, u := range q {
 		wd := float64(g.WeightedDegree(u))
-		nodeVals[i] = wd
+		nodeVals = append(nodeVals, wd)
 		sumWDeg += wd
 	}
-	out = aggStats(out, nodeVals)
+	dst = aggStats(dst, nodeVals)
 
 	nEdges := len(q) * (len(q) - 1) / 2
-	omega := make([]float64, 0, nEdges)
-	mhh := make([]float64, 0, nEdges)
-	ratio := make([]float64, 0, nEdges)
+	omega := stage(&s.edge1, nEdges)
+	mhh := stage(&s.edge2, nEdges)
+	ratio := stage(&s.edge3, nEdges)
 	internal := 0.0
-	for i := 0; i < len(q); i++ {
-		for j := i + 1; j < len(q); j++ {
-			w := float64(g.Weight(q[i], q[j]))
-			m := float64(g.SumMinCommonWeight(q[i], q[j]))
-			omega = append(omega, w)
-			mhh = append(mhh, m)
-			if w > 0 {
-				ratio = append(ratio, m/w)
-			} else {
-				ratio = append(ratio, 0)
-			}
-			internal += w
+	pairW, pairMHH := g.CliquePairStats(q, &s.pair)
+	for p := range pairW {
+		w := float64(pairW[p])
+		m := float64(pairMHH[p])
+		omega = append(omega, w)
+		mhh = append(mhh, m)
+		if w > 0 {
+			ratio = append(ratio, m/w)
+		} else {
+			ratio = append(ratio, 0)
 		}
+		internal += w
 	}
-	out = aggStats(out, omega)
-	out = aggStats(out, mhh)
-	out = aggStats(out, ratio)
+	dst = aggStats(dst, omega)
+	dst = aggStats(dst, mhh)
+	dst = aggStats(dst, ratio)
 
-	out = append(out, float64(len(q)))
-	out = append(out, cutRatio(internal, sumWDeg))
+	dst = append(dst, float64(len(q)))
+	dst = append(dst, cutRatio(internal, sumWDeg))
 	if maximal {
-		out = append(out, 1)
+		dst = append(dst, 1)
 	} else {
-		out = append(out, 0)
+		dst = append(dst, 0)
 	}
-	return out
+	return dst
 }
 
 // cutRatio is the clique cut ratio: the proportion of edge multiplicity
@@ -147,36 +194,51 @@ func (ShyreCount) Name() string { return "shyre-count" }
 func (ShyreCount) Dim() int { return 13 }
 
 // Features implements Featurizer.
-func (ShyreCount) Features(g *graph.Graph, q []int, maximal bool) []float64 {
-	out := make([]float64, 0, 13)
-	out = append(out, float64(len(q)))
-	if maximal {
-		out = append(out, 1)
-	} else {
-		out = append(out, 0)
-	}
-	deg := make([]float64, len(q))
-	sumDeg := 0.0
-	for i, u := range q {
-		deg[i] = float64(g.Degree(u))
-		sumDeg += deg[i]
-	}
-	out = aggStats(out, deg)
-	cn := commonNeighborCounts(g, q)
-	out = aggStats(out, cn)
-	internal := float64(len(q) * (len(q) - 1) / 2)
-	out = append(out, cutRatio(internal, sumDeg))
-	return out
+func (f ShyreCount) Features(g *graph.Graph, q []int, maximal bool) []float64 {
+	var s Scratch
+	return f.AppendFeatures(make([]float64, 0, 13), &s, g, q, maximal)
 }
 
-func commonNeighborCounts(g *graph.Graph, q []int) []float64 {
-	var cn []float64
+// AppendFeatures implements AppendFeaturizer.
+func (ShyreCount) AppendFeatures(dst []float64, s *Scratch, g *graph.Graph, q []int, maximal bool) []float64 {
+	cn := commonNeighborCounts(stage(&s.edge1, len(q)*(len(q)-1)/2), g, q)
+	return appendShyreCount(dst, s, g, q, maximal, cn)
+}
+
+// appendShyreCount appends the 13 ShyreCount dimensions, taking the
+// per-edge common-neighbor counts from the caller so ShyreMotif can share
+// one computation between its triangle and square families.
+func appendShyreCount(dst []float64, s *Scratch, g *graph.Graph, q []int, maximal bool, cn []float64) []float64 {
+	dst = append(dst, float64(len(q)))
+	if maximal {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	deg := stage(&s.node, len(q))
+	sumDeg := 0.0
+	for _, u := range q {
+		d := float64(g.Degree(u))
+		deg = append(deg, d)
+		sumDeg += d
+	}
+	dst = aggStats(dst, deg)
+	dst = aggStats(dst, cn)
+	internal := float64(len(q) * (len(q) - 1) / 2)
+	dst = append(dst, cutRatio(internal, sumDeg))
+	return dst
+}
+
+// commonNeighborCounts appends |N(q_i) ∩ N(q_j)| for every clique pair to
+// dst. CountCommonNeighbors avoids materializing (and sorting) the
+// intersection just to take its length.
+func commonNeighborCounts(dst []float64, g *graph.Graph, q []int) []float64 {
 	for i := 0; i < len(q); i++ {
 		for j := i + 1; j < len(q); j++ {
-			cn = append(cn, float64(len(g.CommonNeighbors(q[i], q[j]))))
+			dst = append(dst, float64(g.CountCommonNeighbors(q[i], q[j])))
 		}
 	}
-	return cn
+	return dst
 }
 
 // ShyreMotif extends ShyreCount with local motif statistics, following
@@ -186,7 +248,8 @@ func commonNeighborCounts(g *graph.Graph, q []int) []float64 {
 //   - per-edge triangle counts (= common neighbors)        → shared with count
 //   - per-edge 4-cycle counts C(cn, 2) through each edge   → 5 extra dims
 //
-// for a total of 18 dimensions.
+// for a total of 18 dimensions. The common-neighbor counts are computed
+// once and shared between the two motif families.
 type ShyreMotif struct{}
 
 // Name implements Featurizer.
@@ -196,16 +259,21 @@ func (ShyreMotif) Name() string { return "shyre-motif" }
 func (ShyreMotif) Dim() int { return 18 }
 
 // Features implements Featurizer.
-func (ShyreMotif) Features(g *graph.Graph, q []int, maximal bool) []float64 {
-	base := ShyreCount{}.Features(g, q, maximal)
-	var squares []float64
-	for i := 0; i < len(q); i++ {
-		for j := i + 1; j < len(q); j++ {
-			cn := float64(len(g.CommonNeighbors(q[i], q[j])))
-			squares = append(squares, cn*(cn-1)/2)
-		}
+func (f ShyreMotif) Features(g *graph.Graph, q []int, maximal bool) []float64 {
+	var s Scratch
+	return f.AppendFeatures(make([]float64, 0, 18), &s, g, q, maximal)
+}
+
+// AppendFeatures implements AppendFeaturizer.
+func (ShyreMotif) AppendFeatures(dst []float64, s *Scratch, g *graph.Graph, q []int, maximal bool) []float64 {
+	nEdges := len(q) * (len(q) - 1) / 2
+	cn := commonNeighborCounts(stage(&s.edge1, nEdges), g, q)
+	dst = appendShyreCount(dst, s, g, q, maximal, cn)
+	squares := stage(&s.edge2, nEdges)
+	for _, c := range cn {
+		squares = append(squares, c*(c-1)/2)
 	}
-	return aggStats(base, squares)
+	return aggStats(dst, squares)
 }
 
 // ByName returns the featurizer registered under the given name.

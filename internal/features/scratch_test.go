@@ -1,0 +1,96 @@
+package features
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"marioh/internal/graph"
+)
+
+// TestAppendFeaturesMatchesFeatures: for every built-in featurizer the
+// allocation-free Compute path must return exactly the vector Features
+// returns, including when the scratch is reused across cliques of
+// different sizes.
+func TestAppendFeaturesMatchesFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := graph.New(25)
+	for i := 0; i < 25; i++ {
+		for j := i + 1; j < 25; j++ {
+			if rng.Float64() < 0.35 {
+				g.AddWeight(i, j, 1+rng.Intn(4))
+			}
+		}
+	}
+	cliques := g.MaximalCliques(2)
+	if len(cliques) < 5 {
+		t.Fatalf("degenerate test graph: %d cliques", len(cliques))
+	}
+	names := []string{"marioh", "marioh-nomhh", "shyre-count", "shyre-motif"}
+	for _, name := range names {
+		f, ok := ByName(name)
+		if !ok {
+			t.Fatalf("featurizer %q missing", name)
+		}
+		if _, ok := f.(AppendFeaturizer); !ok {
+			t.Fatalf("%s does not implement AppendFeaturizer", name)
+		}
+		var s Scratch
+		for _, q := range cliques {
+			for _, maximal := range []bool{true, false} {
+				want := f.Features(g, q, maximal)
+				got := Compute(f, &s, g, q, maximal)
+				if len(want) != f.Dim() {
+					t.Fatalf("%s: Features returned %d dims, want %d", name, len(want), f.Dim())
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s on %v (maximal=%v):\n scratch %v\n  direct %v",
+						name, q, maximal, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestComputeAllocationFree: after warm-up, the Compute path must not
+// allocate for the built-in featurizers.
+func TestComputeAllocationFree(t *testing.T) {
+	g := graph.New(12)
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			g.AddWeight(i, j, 1+((i+j)%3))
+		}
+	}
+	q := []int{0, 2, 4, 6, 8, 10}
+	for _, name := range []string{"marioh", "marioh-nomhh", "shyre-count", "shyre-motif"} {
+		f, _ := ByName(name)
+		var s Scratch
+		Compute(f, &s, g, q, true) // warm the buffers
+		allocs := testing.AllocsPerRun(20, func() {
+			Compute(f, &s, g, q, true)
+		})
+		if allocs > 0 {
+			t.Fatalf("%s: Compute allocates %.1f per call, want 0", name, allocs)
+		}
+	}
+}
+
+// TestComputeFallsBackForPlainFeaturizers: a Featurizer without the append
+// extension still works through Compute.
+type plainFeat struct{}
+
+func (plainFeat) Name() string { return "plain" }
+func (plainFeat) Dim() int     { return 2 }
+func (plainFeat) Features(g *graph.Graph, q []int, maximal bool) []float64 {
+	return []float64{float64(len(q)), 1}
+}
+
+func TestComputeFallsBackForPlainFeaturizers(t *testing.T) {
+	g := graph.New(3)
+	g.AddWeight(0, 1, 1)
+	var s Scratch
+	got := Compute(plainFeat{}, &s, g, []int{0, 1}, true)
+	if !reflect.DeepEqual(got, []float64{2, 1}) {
+		t.Fatalf("fallback Compute = %v", got)
+	}
+}

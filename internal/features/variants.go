@@ -18,17 +18,22 @@ func (MariohNoMHH) Name() string { return "marioh-nomhh" }
 func (MariohNoMHH) Dim() int { return 13 }
 
 // Features implements Featurizer.
-func (MariohNoMHH) Features(g *graph.Graph, q []int, maximal bool) []float64 {
-	out := make([]float64, 0, 13)
-	nodeVals := make([]float64, len(q))
+func (m MariohNoMHH) Features(g *graph.Graph, q []int, maximal bool) []float64 {
+	var s Scratch
+	return m.AppendFeatures(make([]float64, 0, 13), &s, g, q, maximal)
+}
+
+// AppendFeatures implements AppendFeaturizer.
+func (MariohNoMHH) AppendFeatures(dst []float64, s *Scratch, g *graph.Graph, q []int, maximal bool) []float64 {
+	nodeVals := stage(&s.node, len(q))
 	sumWDeg := 0.0
-	for i, u := range q {
+	for _, u := range q {
 		wd := float64(g.WeightedDegree(u))
-		nodeVals[i] = wd
+		nodeVals = append(nodeVals, wd)
 		sumWDeg += wd
 	}
-	out = aggStats(out, nodeVals)
-	omega := make([]float64, 0, len(q)*(len(q)-1)/2)
+	dst = aggStats(dst, nodeVals)
+	omega := stage(&s.edge1, len(q)*(len(q)-1)/2)
 	internal := 0.0
 	for i := 0; i < len(q); i++ {
 		for j := i + 1; j < len(q); j++ {
@@ -37,12 +42,12 @@ func (MariohNoMHH) Features(g *graph.Graph, q []int, maximal bool) []float64 {
 			internal += w
 		}
 	}
-	out = aggStats(out, omega)
-	out = append(out, float64(len(q)), cutRatio(internal, sumWDeg))
+	dst = aggStats(dst, omega)
+	dst = append(dst, float64(len(q)), cutRatio(internal, sumWDeg))
 	if maximal {
-		out = append(out, 1)
+		dst = append(dst, 1)
 	} else {
-		out = append(out, 0)
+		dst = append(dst, 0)
 	}
-	return out
+	return dst
 }

@@ -4,12 +4,12 @@ package graph
 // that the node belongs to a subgraph in which every node has degree ≥ k.
 // Computed from the degeneracy ordering in O(|V| + |E|).
 func (g *Graph) KCoreNumbers() []int {
-	n := len(g.adj)
+	n := len(g.nbrs)
 	core := make([]int, n)
 	deg := make([]int, n)
 	maxDeg := 0
 	for u := 0; u < n; u++ {
-		deg[u] = len(g.adj[u])
+		deg[u] = len(g.nbrs[u])
 		if deg[u] > maxDeg {
 			maxDeg = deg[u]
 		}
@@ -37,10 +37,10 @@ func (g *Graph) KCoreNumbers() []int {
 		removed[u] = true
 		core[u] = cur
 		processed++
-		for v := range g.adj[u] {
+		for _, v := range g.nbrs[u] {
 			if !removed[v] && deg[v] > cur {
 				deg[v]--
-				buckets[deg[v]] = append(buckets[deg[v]], v)
+				buckets[deg[v]] = append(buckets[deg[v]], int(v))
 			}
 		}
 	}
@@ -52,14 +52,14 @@ func (g *Graph) KCoreNumbers() []int {
 // fewer than two neighbors have coefficient 0.
 func (g *Graph) ClusteringCoefficient(u int) float64 {
 	g.check(u)
-	nb := g.Neighbors(u)
+	nb := g.nbrs[u]
 	if len(nb) < 2 {
 		return 0
 	}
 	links := 0
 	for i, v := range nb {
 		for _, w := range nb[i+1:] {
-			if g.HasEdge(v, w) {
+			if g.HasEdge(int(v), int(w)) {
 				links++
 			}
 		}
@@ -72,8 +72,8 @@ func (g *Graph) ClusteringCoefficient(u int) float64 {
 // coefficient over nodes with degree ≥ 2 (0 if there are none).
 func (g *Graph) AverageClusteringCoefficient() float64 {
 	sum, n := 0.0, 0
-	for u := 0; u < len(g.adj); u++ {
-		if len(g.adj[u]) < 2 {
+	for u := 0; u < len(g.nbrs); u++ {
+		if len(g.nbrs[u]) < 2 {
 			continue
 		}
 		sum += g.ClusteringCoefficient(u)
@@ -89,7 +89,7 @@ func (g *Graph) AverageClusteringCoefficient() float64 {
 // for unreachable nodes.
 func (g *Graph) BFSDistances(src int) []int {
 	g.check(src)
-	dist := make([]int, len(g.adj))
+	dist := make([]int, len(g.nbrs))
 	for i := range dist {
 		dist[i] = -1
 	}
@@ -98,10 +98,10 @@ func (g *Graph) BFSDistances(src int) []int {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for v := range g.adj[u] {
+		for _, v := range g.nbrs[u] {
 			if dist[v] < 0 {
 				dist[v] = dist[u] + 1
-				queue = append(queue, v)
+				queue = append(queue, int(v))
 			}
 		}
 	}
@@ -111,7 +111,7 @@ func (g *Graph) BFSDistances(src int) []int {
 // Density returns the edge density |E| / C(|V|, 2) (0 for graphs with
 // fewer than two nodes).
 func (g *Graph) Density() float64 {
-	n := len(g.adj)
+	n := len(g.nbrs)
 	if n < 2 {
 		return 0
 	}

@@ -1,0 +1,55 @@
+package graph
+
+import "math/bits"
+
+// bitset helpers. A bitset is a []uint64 whose bit i (word i/64, bit i%64)
+// marks membership of element i. All operands of the binary helpers must
+// have the same length.
+
+// bitsetWords returns the number of 64-bit words needed for n elements.
+func bitsetWords(n int) int { return (n + 63) >> 6 }
+
+func bitsetSet(s []uint64, i int)      { s[i>>6] |= 1 << (uint(i) & 63) }
+func bitsetClear(s []uint64, i int)    { s[i>>6] &^= 1 << (uint(i) & 63) }
+func bitsetHas(s []uint64, i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// bitsetZero clears every word.
+func bitsetZero(s []uint64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// bitsetEmpty reports whether no bit is set.
+func bitsetEmpty(s []uint64) bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bitsetAndInto stores a & b into dst.
+func bitsetAndInto(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// bitsetAndNotInto stores a &^ b into dst.
+func bitsetAndNotInto(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] &^ b[i]
+	}
+}
+
+// bitsetPopcountAnd returns |a ∩ b| without materializing the intersection —
+// the word-level pivot-counting kernel of the Bron–Kerbosch rewrite.
+func bitsetPopcountAnd(a, b []uint64) int {
+	n := 0
+	for i := range a {
+		n += bits.OnesCount64(a[i] & b[i])
+	}
+	return n
+}

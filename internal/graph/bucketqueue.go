@@ -1,0 +1,92 @@
+package graph
+
+// bucketQueue is the monotone bucket priority queue behind
+// DegeneracyOrdering: nodes keyed by current degree, O(1) pop-min and
+// decrease-key via position tracking. Removal normally finds the node at
+// pos[u] in its bucket; if the tracked position is stale it falls back to a
+// linear scan of the bucket, so a bookkeeping slip degrades to O(bucket)
+// instead of corrupting the ordering.
+type bucketQueue struct {
+	buckets [][]int
+	pos     []int // index of u within buckets[deg[u]]
+	deg     []int // current degree key of u
+	removed []bool
+	cur     int // lowest possibly-non-empty bucket
+}
+
+// newBucketQueue builds a queue over nodes 0..len(deg)-1 keyed by deg.
+func newBucketQueue(deg []int) *bucketQueue {
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	q := &bucketQueue{
+		buckets: make([][]int, maxDeg+1),
+		pos:     make([]int, len(deg)),
+		deg:     append([]int(nil), deg...),
+		removed: make([]bool, len(deg)),
+	}
+	for u, d := range deg {
+		q.pos[u] = len(q.buckets[d])
+		q.buckets[d] = append(q.buckets[d], u)
+	}
+	return q
+}
+
+// popMin removes and returns a node of minimum degree together with that
+// degree; ok is false once the queue is empty.
+func (q *bucketQueue) popMin() (u, d int, ok bool) {
+	for q.cur < len(q.buckets) {
+		b := q.buckets[q.cur]
+		if len(b) == 0 {
+			q.cur++
+			continue
+		}
+		u = b[len(b)-1]
+		q.buckets[q.cur] = b[:len(b)-1]
+		q.removed[u] = true
+		return u, q.cur, true
+	}
+	return 0, 0, false
+}
+
+// isRemoved reports whether u was already popped.
+func (q *bucketQueue) isRemoved(u int) bool { return q.removed[u] }
+
+// decrease moves u from bucket deg[u] to deg[u]-1.
+func (q *bucketQueue) decrease(u int) {
+	d := q.deg[u]
+	q.removeFromBucket(u, d)
+	q.deg[u] = d - 1
+	q.pos[u] = len(q.buckets[d-1])
+	q.buckets[d-1] = append(q.buckets[d-1], u)
+	if d-1 < q.cur {
+		q.cur = d - 1
+	}
+}
+
+// removeFromBucket deletes u from buckets[d], preferring the tracked
+// position and falling back to a linear scan when it is stale.
+func (q *bucketQueue) removeFromBucket(u, d int) {
+	b := q.buckets[d]
+	i := q.pos[u]
+	if i >= len(b) || b[i] != u {
+		// Stale position; find the real one (defensive, O(bucket)).
+		i = -1
+		for j, w := range b {
+			if w == u {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			return
+		}
+	}
+	last := len(b) - 1
+	b[i] = b[last]
+	q.pos[b[i]] = i
+	q.buckets[d] = b[:last]
+}

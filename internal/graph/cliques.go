@@ -1,79 +1,33 @@
 package graph
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // DegeneracyOrdering returns the nodes in a degeneracy ordering (repeatedly
 // removing a minimum-degree node) together with the graph's degeneracy. The
 // ordering makes Bron–Kerbosch run in O(d · n · 3^(d/3)) for degeneracy d.
 func (g *Graph) DegeneracyOrdering() (order []int, degeneracy int) {
-	n := len(g.adj)
+	n := len(g.nbrs)
 	deg := make([]int, n)
-	maxDeg := 0
 	for u := 0; u < n; u++ {
-		deg[u] = len(g.adj[u])
-		if deg[u] > maxDeg {
-			maxDeg = deg[u]
-		}
+		deg[u] = len(g.nbrs[u])
 	}
-	// Bucket queue over current degrees.
-	buckets := make([][]int, maxDeg+1)
-	pos := make([]int, n) // index of u within buckets[deg[u]]
-	for u := 0; u < n; u++ {
-		pos[u] = len(buckets[deg[u]])
-		buckets[deg[u]] = append(buckets[deg[u]], u)
-	}
-	removed := make([]bool, n)
+	q := newBucketQueue(deg)
 	order = make([]int, 0, n)
-	cur := 0
-	for len(order) < n {
-		for cur <= maxDeg && len(buckets[cur]) == 0 {
-			cur++
-		}
-		if cur > maxDeg {
+	for {
+		u, d, ok := q.popMin()
+		if !ok {
 			break
 		}
-		b := buckets[cur]
-		u := b[len(b)-1]
-		buckets[cur] = b[:len(b)-1]
-		if removed[u] {
-			continue
-		}
-		removed[u] = true
 		order = append(order, u)
-		if cur > degeneracy {
-			degeneracy = cur
+		if d > degeneracy {
+			degeneracy = d
 		}
-		for v := range g.adj[u] {
-			if removed[v] {
-				continue
-			}
-			d := deg[v]
-			// Lazy deletion: just push v into the lower bucket and let the
-			// stale entry be skipped via the removed/deg checks.
-			bv := buckets[d]
-			i := pos[v]
-			if i < len(bv) && bv[i] == v {
-				last := len(bv) - 1
-				bv[i] = bv[last]
-				pos[bv[i]] = i
-				buckets[d] = bv[:last]
-			} else {
-				// Stale position; find and remove (rare).
-				for j, w := range bv {
-					if w == v {
-						last := len(bv) - 1
-						bv[j] = bv[last]
-						pos[bv[j]] = j
-						buckets[d] = bv[:last]
-						break
-					}
-				}
-			}
-			deg[v] = d - 1
-			pos[v] = len(buckets[d-1])
-			buckets[d-1] = append(buckets[d-1], v)
-			if d-1 < cur {
-				cur = d - 1
+		for _, v := range g.nbrs[u] {
+			if !q.isRemoved(int(v)) {
+				q.decrease(int(v))
 			}
 		}
 	}
@@ -108,10 +62,18 @@ func (g *Graph) MaximalCliquesLimit(minSize, limit int) [][]int {
 
 // EachMaximalClique calls fn with every maximal clique of size ≥ minSize.
 // The slice passed to fn is reused between calls; copy it to retain it.
-// Enumeration stops early when fn returns false.
+// Enumeration stops early when fn returns false. fn must not mutate the
+// graph.
+//
+// The enumeration is the bitset form of Bron–Kerbosch over a degeneracy
+// ordering: each seed vertex u spans a local universe N(u) (at most the
+// degeneracy many P-candidates), over which the P and X sets are dense
+// bitsets and the pivot is chosen by word-level popcounts of adj ∩ P. All
+// per-seed buffers are reused, so enumeration allocates O(1) amortized
+// memory per seed instead of per recursive call.
 func (g *Graph) EachMaximalClique(minSize int, fn func(clique []int) bool) {
 	order, _ := g.DegeneracyOrdering()
-	rank := make([]int, len(g.adj))
+	rank := make([]int, len(g.nbrs))
 	for i, u := range order {
 		rank[u] = i
 	}
@@ -120,90 +82,167 @@ func (g *Graph) EachMaximalClique(minSize int, fn func(clique []int) bool) {
 		if e.stopped {
 			return
 		}
-		var p, x []int
-		for v := range g.adj[u] {
-			if rank[v] > rank[u] {
-				p = append(p, v)
-			} else {
-				x = append(x, v)
-			}
-		}
-		e.r = append(e.r[:0], u)
-		e.expand(p, x)
+		e.seed(u, rank)
 	}
 }
 
+// bkEnum holds the reusable state of one EachMaximalClique run.
 type bkEnum struct {
 	g       *Graph
 	minSize int
 	fn      func([]int) bool
-	r       []int
 	stopped bool
+
+	r    []int // current clique, original node ids
+	emit []int // sorted copy handed to fn
+
+	// Per-seed local universe: ids maps local index → original id, adj is a
+	// flat m×w bitset adjacency matrix over the universe, w words per row.
+	ids    []int32
+	adj    []uint64
+	w      int
+	p0, x0 []uint64
+	levels [][]uint64 // per-depth cand|np|nx scratch, 3w words each
 }
 
-func (e *bkEnum) expand(p, x []int) {
+func (e *bkEnum) adjRow(j int) []uint64 { return e.adj[j*e.w : (j+1)*e.w] }
+
+// level returns the scratch block for the given recursion depth, growing it
+// to 3w words if a previous seed left it smaller.
+func (e *bkEnum) level(d int) []uint64 {
+	for len(e.levels) <= d {
+		e.levels = append(e.levels, nil)
+	}
+	if cap(e.levels[d]) < 3*e.w {
+		e.levels[d] = make([]uint64, 3*e.w)
+	}
+	return e.levels[d][:3*e.w]
+}
+
+// emitR hands the current clique to fn as a sorted copy in a reused buffer.
+func (e *bkEnum) emitR() {
+	e.emit = append(e.emit[:0], e.r...)
+	sort.Ints(e.emit)
+	if !e.fn(e.emit) {
+		e.stopped = true
+	}
+}
+
+// seed runs Bron–Kerbosch rooted at u: R = {u}, P = later neighbors in the
+// degeneracy ordering, X = earlier ones, both as bitsets over N(u).
+func (e *bkEnum) seed(u int, rank []int) {
+	g := e.g
+	uni := g.nbrs[u]
+	m := len(uni)
+	e.r = append(e.r[:0], u)
+	if m == 0 {
+		if e.minSize <= 1 {
+			e.emitR()
+		}
+		return
+	}
+	w := bitsetWords(m)
+	e.w = w
+	e.ids = uni
+	if cap(e.adj) < m*w {
+		e.adj = make([]uint64, m*w)
+	}
+	e.adj = e.adj[:m*w]
+	bitsetZero(e.adj)
+	// Row a = neighbors of uni[a] inside the universe: intersect the
+	// neighbor list with uni by sorted merge, or via the node's dense row.
+	for a := 0; a < m; a++ {
+		ida := int(uni[a])
+		row := e.adjRow(a)
+		if rbits := g.bits[ida]; rbits != nil {
+			for j, z := range uni {
+				if bitsetHas(rbits, int(z)) {
+					bitsetSet(row, j)
+				}
+			}
+			continue
+		}
+		nb := g.nbrs[ida]
+		i, j := 0, 0
+		for i < len(nb) && j < m {
+			switch {
+			case nb[i] < uni[j]:
+				i++
+			case nb[i] > uni[j]:
+				j++
+			default:
+				bitsetSet(row, j)
+				i++
+				j++
+			}
+		}
+	}
+	if cap(e.p0) < w {
+		e.p0 = make([]uint64, w)
+		e.x0 = make([]uint64, w)
+	}
+	p, x := e.p0[:w], e.x0[:w]
+	bitsetZero(p)
+	bitsetZero(x)
+	ru := rank[u]
+	for j, v := range uni {
+		if rank[int(v)] > ru {
+			bitsetSet(p, j)
+		} else {
+			bitsetSet(x, j)
+		}
+	}
+	e.expand(0, p, x)
+}
+
+// expand is the recursive Bron–Kerbosch step on bitset P and X. Both are
+// mutated in place; the caller rebuilds its own copies per candidate.
+func (e *bkEnum) expand(depth int, p, x []uint64) {
 	if e.stopped {
 		return
 	}
-	if len(p) == 0 && len(x) == 0 {
-		if len(e.r) >= e.minSize {
-			c := make([]int, len(e.r))
-			copy(c, e.r)
-			sort.Ints(c)
-			if !e.fn(c) {
-				e.stopped = true
-			}
+	if bitsetEmpty(p) {
+		if bitsetEmpty(x) && len(e.r) >= e.minSize {
+			e.emitR()
 		}
 		return
 	}
-	// Pivot: vertex of P ∪ X with the most neighbors in P.
-	pivot, best := -1, -1
-	for _, cand := range [2][]int{p, x} {
-		for _, u := range cand {
-			cnt := 0
-			for _, v := range p {
-				if e.g.HasEdge(u, v) {
-					cnt++
-				}
-			}
-			if cnt > best {
-				best, pivot = cnt, u
-			}
-		}
-	}
-	// Iterate over P \ N(pivot).
-	cand := make([]int, 0, len(p))
-	for _, v := range p {
-		if pivot < 0 || !e.g.HasEdge(pivot, v) {
-			cand = append(cand, v)
-		}
-	}
-	sort.Ints(cand) // determinism
-	pset := make(map[int]bool, len(p))
-	for _, v := range p {
-		pset[v] = true
-	}
-	xset := make(map[int]bool, len(x))
-	for _, v := range x {
-		xset[v] = true
-	}
-	for _, v := range cand {
-		if e.stopped {
-			return
-		}
-		var np, nx []int
-		for w := range e.g.adj[v] {
-			if pset[w] {
-				np = append(np, w)
-			} else if xset[w] {
-				nx = append(nx, w)
+	w := e.w
+	// Pivot: the vertex of P ∪ X with the most neighbors in P, counted with
+	// word-level popcounts; ties break to the lowest local index.
+	best, pivot := -1, 0
+	for wi := 0; wi < w; wi++ {
+		merged := p[wi] | x[wi]
+		base := wi << 6
+		for merged != 0 {
+			j := base + bits.TrailingZeros64(merged)
+			merged &= merged - 1
+			if cnt := bitsetPopcountAnd(e.adjRow(j), p); cnt > best {
+				best, pivot = cnt, j
 			}
 		}
-		e.r = append(e.r, v)
-		e.expand(np, nx)
-		e.r = e.r[:len(e.r)-1]
-		delete(pset, v)
-		xset[v] = true
+	}
+	lv := e.level(depth)
+	cand, np, nx := lv[:w], lv[w:2*w], lv[2*w:]
+	bitsetAndNotInto(cand, p, e.adjRow(pivot))
+	for wi := 0; wi < w; wi++ {
+		cw := cand[wi]
+		base := wi << 6
+		for cw != 0 {
+			j := base + bits.TrailingZeros64(cw)
+			cw &= cw - 1
+			row := e.adjRow(j)
+			bitsetAndInto(np, p, row)
+			bitsetAndInto(nx, x, row)
+			e.r = append(e.r, int(e.ids[j]))
+			e.expand(depth+1, np, nx)
+			e.r = e.r[:len(e.r)-1]
+			if e.stopped {
+				return
+			}
+			bitsetClear(p, j)
+			bitsetSet(x, j)
+		}
 	}
 }
 
@@ -246,9 +285,9 @@ func (g *Graph) KCliques(k, limit int) [][]int {
 		}
 		return true
 	}
-	all := make([]int, 0, len(g.adj))
-	for u := 0; u < len(g.adj); u++ {
-		if len(g.adj[u]) >= k-1 {
+	all := make([]int, 0, len(g.nbrs))
+	for u := 0; u < len(g.nbrs); u++ {
+		if len(g.nbrs[u]) >= k-1 {
 			all = append(all, u)
 		}
 	}

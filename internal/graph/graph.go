@@ -5,14 +5,31 @@
 // ω(u, v) ≥ 1 called the edge multiplicity: the number of hyperedges of the
 // original hypergraph that contain both u and v (see the clique-expansion
 // projection in internal/hypergraph). The package provides the primitives
-// the MARIOH paper relies on: weighted adjacency with O(1) edge updates,
+// the MARIOH paper relies on: weighted adjacency with cheap edge updates,
 // neighbor intersection, degeneracy ordering, Bron–Kerbosch maximal-clique
 // enumeration with pivoting, and fixed-size clique enumeration for the
 // CFinder baseline.
+//
+// # Adjacency engine
+//
+// Adjacency is stored as per-node sorted neighbor arrays with parallel
+// weight arrays (a mutable CSR layout): Weight and HasEdge binary-search
+// the shorter endpoint list, and the intersection primitives
+// (CommonNeighbors, CountCommonNeighbors, SumMinCommonWeight) run a linear
+// merge over two sorted arrays instead of probing hash maps. Nodes whose
+// degree reaches bitsetDegThreshold additionally carry a dense bitset row
+// over the whole node set, giving O(1) HasEdge against hubs; rows are
+// created and dropped incrementally by AddWeight/RemoveEdge (with 2×
+// hysteresis to avoid thrashing), so the residual-graph mutation pattern of
+// the bidirectional search keeps its fast paths. Weighted degrees are
+// cached and maintained on every update. All iteration orders are
+// ascending by node id, which makes every algorithm in this package
+// deterministic.
 package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -22,11 +39,27 @@ type Edge struct {
 	W    int
 }
 
+// bitsetDegThreshold is the degree at which a node gets a dense bitset row:
+// max(64, n/64). Below 64 neighbors a binary search beats the cache miss of
+// a dense row lookup; above n/64 the row (n/8 bytes) costs no more than the
+// sorted neighbor array it shadows, so hubs get O(1) membership tests.
+func bitsetDegThreshold(n int) int {
+	t := n / 64
+	if t < 64 {
+		t = 64
+	}
+	return t
+}
+
 // Graph is a weighted undirected graph over nodes 0..NumNodes()-1.
 // Self-loops are forbidden. A zero-weight pair is, by definition, a
 // non-edge: AddWeight removes the pair once its weight reaches zero.
 type Graph struct {
-	adj         []map[int]int
+	nbrs [][]int32  // sorted neighbor ids per node
+	wts  [][]int32  // wts[u][i] = ω(u, nbrs[u][i])
+	bits [][]uint64 // dense membership row for high-degree nodes, else nil
+	wdeg []int      // cached Σ_v ω(u, v)
+
 	numEdges    int
 	totalWeight int
 }
@@ -36,11 +69,16 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	return &Graph{adj: make([]map[int]int, n)}
+	return &Graph{
+		nbrs: make([][]int32, n),
+		wts:  make([][]int32, n),
+		bits: make([][]uint64, n),
+		wdeg: make([]int, n),
+	}
 }
 
 // NumNodes returns the number of nodes (isolated nodes included).
-func (g *Graph) NumNodes() int { return len(g.adj) }
+func (g *Graph) NumNodes() int { return len(g.nbrs) }
 
 // NumEdges returns the number of node pairs with positive weight.
 func (g *Graph) NumEdges() int { return g.numEdges }
@@ -49,30 +87,118 @@ func (g *Graph) NumEdges() int { return g.numEdges }
 func (g *Graph) TotalWeight() int { return g.totalWeight }
 
 // EnsureNodes grows the node set so that it contains at least n nodes.
+// Existing bitset rows are widened to cover the new (edgeless) nodes.
 func (g *Graph) EnsureNodes(n int) {
-	for len(g.adj) < n {
-		g.adj = append(g.adj, nil)
+	if n <= len(g.nbrs) {
+		return
+	}
+	for len(g.nbrs) < n {
+		g.nbrs = append(g.nbrs, nil)
+		g.wts = append(g.wts, nil)
+		g.bits = append(g.bits, nil)
+		g.wdeg = append(g.wdeg, 0)
+	}
+	words := bitsetWords(n)
+	for u, row := range g.bits {
+		if row != nil && len(row) < words {
+			grown := make([]uint64, words)
+			copy(grown, row)
+			g.bits[u] = grown
+		}
 	}
 }
 
 func (g *Graph) check(u int) {
-	if u < 0 || u >= len(g.adj) {
-		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, len(g.adj)))
+	if u < 0 || u >= len(g.nbrs) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, len(g.nbrs)))
 	}
+}
+
+// searchNbr binary-searches for v in u's sorted neighbor list, returning the
+// insertion index and whether v is present.
+func (g *Graph) searchNbr(u, v int) (int, bool) {
+	s := g.nbrs[u]
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(s[mid]) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s) && int(s[lo]) == v
 }
 
 // Weight returns ω(u, v), or 0 if {u, v} is not an edge.
 func (g *Graph) Weight(u, v int) int {
 	g.check(u)
 	g.check(v)
-	if g.adj[u] == nil {
-		return 0
+	if len(g.nbrs[v]) < len(g.nbrs[u]) {
+		u, v = v, u
 	}
-	return g.adj[u][v]
+	if i, ok := g.searchNbr(u, v); ok {
+		return int(g.wts[u][i])
+	}
+	return 0
 }
 
 // HasEdge reports whether {u, v} is an edge.
-func (g *Graph) HasEdge(u, v int) bool { return g.Weight(u, v) > 0 }
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if r := g.bits[u]; r != nil {
+		return bitsetHas(r, v)
+	}
+	if r := g.bits[v]; r != nil {
+		return bitsetHas(r, u)
+	}
+	if len(g.nbrs[v]) < len(g.nbrs[u]) {
+		u, v = v, u
+	}
+	_, ok := g.searchNbr(u, v)
+	return ok
+}
+
+// insertNbr inserts v with weight w into u's sorted lists at index i.
+func (g *Graph) insertNbr(u, v, w, i int) {
+	g.nbrs[u] = append(g.nbrs[u], 0)
+	copy(g.nbrs[u][i+1:], g.nbrs[u][i:])
+	g.nbrs[u][i] = int32(v)
+	g.wts[u] = append(g.wts[u], 0)
+	copy(g.wts[u][i+1:], g.wts[u][i:])
+	g.wts[u][i] = int32(w)
+	if r := g.bits[u]; r != nil {
+		bitsetSet(r, v)
+	} else if len(g.nbrs[u]) >= bitsetDegThreshold(len(g.nbrs)) {
+		g.buildBitRow(u)
+	}
+}
+
+// removeNbr deletes index i from u's sorted lists.
+func (g *Graph) removeNbr(u, v, i int) {
+	copy(g.nbrs[u][i:], g.nbrs[u][i+1:])
+	g.nbrs[u] = g.nbrs[u][:len(g.nbrs[u])-1]
+	copy(g.wts[u][i:], g.wts[u][i+1:])
+	g.wts[u] = g.wts[u][:len(g.wts[u])-1]
+	if r := g.bits[u]; r != nil {
+		bitsetClear(r, v)
+		// Hysteresis: keep the row until the degree halves below the build
+		// threshold, so a node oscillating around it doesn't rebuild rows.
+		if len(g.nbrs[u]) < bitsetDegThreshold(len(g.nbrs))/2 {
+			g.bits[u] = nil
+		}
+	}
+}
+
+// buildBitRow materializes the dense membership row of u.
+func (g *Graph) buildBitRow(u int) {
+	row := make([]uint64, bitsetWords(len(g.nbrs)))
+	for _, v := range g.nbrs[u] {
+		bitsetSet(row, int(v))
+	}
+	g.bits[u] = row
+}
 
 // AddWeight adds delta (which may be negative) to ω(u, v). The pair becomes
 // an edge when its weight turns positive and stops being one when the weight
@@ -87,33 +213,38 @@ func (g *Graph) AddWeight(u, v, delta int) {
 	if delta == 0 {
 		return
 	}
+	i, ok := g.searchNbr(u, v)
 	old := 0
-	if g.adj[u] != nil {
-		old = g.adj[u][v]
+	if ok {
+		old = int(g.wts[u][i])
 	}
 	nw := old + delta
 	if nw < 0 {
 		panic(fmt.Sprintf("graph: weight of {%d,%d} would become %d", u, v, nw))
 	}
+	if nw > math.MaxInt32 {
+		// Multiplicities are stored as int32; a weight this large means a
+		// caller bug, not a real hypergraph.
+		panic(fmt.Sprintf("graph: weight of {%d,%d} would overflow int32 (%d)", u, v, nw))
+	}
 	switch {
 	case old == 0 && nw > 0:
-		if g.adj[u] == nil {
-			g.adj[u] = make(map[int]int)
-		}
-		if g.adj[v] == nil {
-			g.adj[v] = make(map[int]int)
-		}
-		g.adj[u][v] = nw
-		g.adj[v][u] = nw
+		j, _ := g.searchNbr(v, u)
+		g.insertNbr(u, v, nw, i)
+		g.insertNbr(v, u, nw, j)
 		g.numEdges++
 	case old > 0 && nw == 0:
-		delete(g.adj[u], v)
-		delete(g.adj[v], u)
+		j, _ := g.searchNbr(v, u)
+		g.removeNbr(u, v, i)
+		g.removeNbr(v, u, j)
 		g.numEdges--
 	default:
-		g.adj[u][v] = nw
-		g.adj[v][u] = nw
+		j, _ := g.searchNbr(v, u)
+		g.wts[u][i] = int32(nw)
+		g.wts[v][j] = int32(nw)
 	}
+	g.wdeg[u] += delta
+	g.wdeg[v] += delta
 	g.totalWeight += delta
 }
 
@@ -133,73 +264,69 @@ func (g *Graph) RemoveEdge(u, v int) {
 // Degree returns the number of neighbors of u.
 func (g *Graph) Degree(u int) int {
 	g.check(u)
-	return len(g.adj[u])
+	return len(g.nbrs[u])
 }
 
 // WeightedDegree returns the sum of ω(u, v) over the neighbors v of u —
-// the node-level feature used by the MARIOH classifier.
+// the node-level feature used by the MARIOH classifier. The value is cached
+// and maintained incrementally, so this is O(1).
 func (g *Graph) WeightedDegree(u int) int {
 	g.check(u)
-	s := 0
-	for _, w := range g.adj[u] {
-		s += w
-	}
-	return s
+	return g.wdeg[u]
 }
 
 // Neighbors returns the neighbors of u in ascending order.
 func (g *Graph) Neighbors(u int) []int {
 	g.check(u)
-	out := make([]int, 0, len(g.adj[u]))
-	for v := range g.adj[u] {
-		out = append(out, v)
+	out := make([]int, len(g.nbrs[u]))
+	for i, v := range g.nbrs[u] {
+		out[i] = int(v)
 	}
-	sort.Ints(out)
 	return out
 }
 
-// NeighborWeights calls fn for every neighbor v of u with ω(u, v).
-// Iteration order is unspecified; fn must not mutate the graph.
+// NeighborWeights calls fn for every neighbor v of u with ω(u, v), in
+// ascending order of v. fn must not mutate the graph.
 func (g *Graph) NeighborWeights(u int, fn func(v, w int)) {
 	g.check(u)
-	for v, w := range g.adj[u] {
-		fn(v, w)
+	ws := g.wts[u]
+	for i, v := range g.nbrs[u] {
+		fn(int(v), int(ws[i]))
 	}
 }
 
 // Edges returns all edges with U < V, sorted lexicographically.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.numEdges)
-	for u := range g.adj {
-		for v, w := range g.adj[u] {
-			if u < v {
-				out = append(out, Edge{U: u, V: v, W: w})
+	for u := range g.nbrs {
+		ws := g.wts[u]
+		for i, v := range g.nbrs[u] {
+			if u < int(v) {
+				out = append(out, Edge{U: u, V: int(v), W: int(ws[i])})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
 	return out
 }
 
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
-	c := New(len(g.adj))
-	c.numEdges = g.numEdges
-	c.totalWeight = g.totalWeight
-	for u, m := range g.adj {
-		if m == nil {
-			continue
+	c := &Graph{
+		nbrs:        make([][]int32, len(g.nbrs)),
+		wts:         make([][]int32, len(g.wts)),
+		bits:        make([][]uint64, len(g.bits)),
+		wdeg:        append([]int(nil), g.wdeg...),
+		numEdges:    g.numEdges,
+		totalWeight: g.totalWeight,
+	}
+	for u := range g.nbrs {
+		if g.nbrs[u] != nil {
+			c.nbrs[u] = append([]int32(nil), g.nbrs[u]...)
+			c.wts[u] = append([]int32(nil), g.wts[u]...)
 		}
-		cm := make(map[int]int, len(m))
-		for v, w := range m {
-			cm[v] = w
+		if g.bits[u] != nil {
+			c.bits[u] = append([]uint64(nil), g.bits[u]...)
 		}
-		c.adj[u] = cm
 	}
 	return c
 }
@@ -208,41 +335,86 @@ func (g *Graph) Clone() *Graph {
 func (g *Graph) CommonNeighbors(u, v int) []int {
 	g.check(u)
 	g.check(v)
-	a, b := g.adj[u], g.adj[v]
+	var out []int
+	g.eachCommonNeighbor(u, v, func(z int) { out = append(out, z) })
+	return out
+}
+
+// CountCommonNeighbors returns |N(u) ∩ N(v)| without materializing the
+// intersection — the triangle count through the edge {u, v}.
+func (g *Graph) CountCommonNeighbors(u, v int) int {
+	g.check(u)
+	g.check(v)
+	// Two dense rows intersect with word-level popcounts.
+	if ru, rv := g.bits[u], g.bits[v]; ru != nil && rv != nil {
+		return bitsetPopcountAnd(ru, rv)
+	}
+	n := 0
+	g.eachCommonNeighbor(u, v, func(int) { n++ })
+	return n
+}
+
+// eachCommonNeighbor calls fn with every z ∈ N(u) ∩ N(v) in ascending
+// order, using a bitset filter against hub rows when available and a sorted
+// merge otherwise.
+func (g *Graph) eachCommonNeighbor(u, v int, fn func(z int)) {
+	a, b := g.nbrs[u], g.nbrs[v]
 	if len(a) > len(b) {
 		a, b = b, a
+		u, v = v, u
 	}
-	var out []int
-	for z := range a {
-		if _, ok := b[z]; ok {
-			out = append(out, z)
+	// a is the shorter list; if the longer side has a dense row, filter.
+	if r := g.bits[v]; r != nil {
+		for _, z := range a {
+			if bitsetHas(r, int(z)) {
+				fn(int(z))
+			}
+		}
+		return
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			fn(int(a[i]))
+			i++
+			j++
 		}
 	}
-	sort.Ints(out)
-	return out
 }
 
 // SumMinCommonWeight returns Σ_{z ∈ N(u)∩N(v)} min(ω(u,z), ω(v,z)).
 // In MARIOH this quantity is MHH(u, v): the maximum possible number of
 // hyperedges of size ≥ 3 containing both u and v (Lemma 1 of the paper).
+// Computed as a linear merge of the two sorted neighbor arrays.
 func (g *Graph) SumMinCommonWeight(u, v int) int {
 	g.check(u)
 	g.check(v)
-	a, b := g.adj[u], g.adj[v]
-	if len(a) > len(b) {
-		a, b = b, a
-	}
+	a, b := g.nbrs[u], g.nbrs[v]
+	wa, wb := g.wts[u], g.wts[v]
 	s := 0
-	for z, wa := range a {
-		if z == u || z == v {
-			continue
-		}
-		if wb, ok := b[z]; ok {
-			if wa < wb {
-				s += wa
-			} else {
-				s += wb
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			z := int(a[i])
+			if z != u && z != v {
+				if wa[i] < wb[j] {
+					s += int(wa[i])
+				} else {
+					s += int(wb[j])
+				}
 			}
+			i++
+			j++
 		}
 	}
 	return s
@@ -265,7 +437,7 @@ func (g *Graph) IsClique(nodes []int) bool {
 // each sorted ascending, ordered by their smallest node. Isolated nodes form
 // singleton components.
 func (g *Graph) ConnectedComponents() [][]int {
-	n := len(g.adj)
+	n := len(g.nbrs)
 	seen := make([]bool, n)
 	var comps [][]int
 	stack := make([]int, 0, 64)
@@ -280,10 +452,10 @@ func (g *Graph) ConnectedComponents() [][]int {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, u)
-			for v := range g.adj[u] {
+			for _, v := range g.nbrs[u] {
 				if !seen[v] {
 					seen[v] = true
-					stack = append(stack, v)
+					stack = append(stack, int(v))
 				}
 			}
 		}
@@ -296,16 +468,16 @@ func (g *Graph) ConnectedComponents() [][]int {
 // Triangles calls fn for every triangle a < b < c in the graph. If fn
 // returns false, enumeration stops early.
 func (g *Graph) Triangles(fn func(a, b, c int) bool) {
-	n := len(g.adj)
+	n := len(g.nbrs)
 	for a := 0; a < n; a++ {
-		na := g.Neighbors(a)
+		na := g.nbrs[a]
 		for i, b := range na {
-			if b <= a {
+			if int(b) <= a {
 				continue
 			}
 			for _, c := range na[i+1:] {
-				if c > b && g.HasEdge(b, c) {
-					if !fn(a, b, c) {
+				if c > b && g.HasEdge(int(b), int(c)) {
+					if !fn(a, int(b), int(c)) {
 						return
 					}
 				}
@@ -331,9 +503,10 @@ func (g *Graph) Subgraph(nodes []int) (*Graph, []int) {
 	}
 	sub := New(len(nodes))
 	for i, u := range nodes {
-		for v, w := range g.adj[u] {
-			if j, ok := idx[v]; ok && i < j {
-				sub.AddWeight(i, j, w)
+		ws := g.wts[u]
+		for k, v := range g.nbrs[u] {
+			if j, ok := idx[int(v)]; ok && i < j {
+				sub.AddWeight(i, j, int(ws[k]))
 			}
 		}
 	}

@@ -40,6 +40,7 @@ func New(inputDim int, hidden []int, seed int64) *Net {
 }
 
 // Forward returns the sigmoid output probability for a single input vector.
+// Hot paths should prefer ForwardScratch, which reuses activation buffers.
 func (n *Net) Forward(x []float64) float64 {
 	a := x
 	for l := 0; l < len(n.W); l++ {
@@ -48,10 +49,42 @@ func (n *Net) Forward(x []float64) float64 {
 	return sigmoid(a[0])
 }
 
+// Scratch holds the reusable activation buffers of ForwardScratch. It must
+// not be shared between goroutines. The zero value is ready to use.
+type Scratch struct {
+	a, b []float64
+}
+
+// ForwardScratch is Forward with caller-owned activation buffers: in the
+// steady state it performs zero heap allocations. The result is
+// bit-identical to Forward.
+func (n *Net) ForwardScratch(x []float64, s *Scratch) float64 {
+	a := x
+	cur, next := &s.a, &s.b
+	for l := 0; l < len(n.W); l++ {
+		out := n.Sizes[l+1]
+		if cap(*cur) < out {
+			*cur = make([]float64, out)
+		}
+		z := (*cur)[:out]
+		n.layerInto(z, l, a, l < len(n.W)-1)
+		a = z
+		cur, next = next, cur
+	}
+	return sigmoid(a[0])
+}
+
 // layer computes W[l]·a + B[l], applying ReLU when relu is true.
 func (n *Net) layer(l int, a []float64, relu bool) []float64 {
+	z := make([]float64, n.Sizes[l+1])
+	n.layerInto(z, l, a, relu)
+	return z
+}
+
+// layerInto computes W[l]·a + B[l] into z (len n.Sizes[l+1]), applying ReLU
+// when relu is true. z must not alias a.
+func (n *Net) layerInto(z []float64, l int, a []float64, relu bool) {
 	in, out := n.Sizes[l], n.Sizes[l+1]
-	z := make([]float64, out)
 	w := n.W[l]
 	for o := 0; o < out; o++ {
 		s := n.B[l][o]
@@ -68,7 +101,6 @@ func (n *Net) layer(l int, a []float64, relu bool) []float64 {
 			}
 		}
 	}
-	return z
 }
 
 func sigmoid(z float64) float64 {

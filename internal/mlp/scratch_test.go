@@ -1,0 +1,43 @@
+package mlp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestForwardScratchMatchesForward: the reusable-buffer forward pass must be
+// bit-identical to Forward across layer shapes and reused scratches.
+func TestForwardScratchMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	shapes := [][]int{{}, {8}, {32, 16}, {7, 5, 3}}
+	for si, hidden := range shapes {
+		n := New(6, hidden, int64(si))
+		var s Scratch
+		for trial := 0; trial < 50; trial++ {
+			x := make([]float64, 6)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			want := n.Forward(x)
+			if got := n.ForwardScratch(x, &s); got != want {
+				t.Fatalf("shape %v trial %d: scratch %v != %v", hidden, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestForwardScratchAllocationFree: after warm-up the scratch path must not
+// touch the heap.
+func TestForwardScratchAllocationFree(t *testing.T) {
+	n := New(23, []int{32, 16}, 1)
+	x := make([]float64, 23)
+	for i := range x {
+		x[i] = float64(i) * 0.1
+	}
+	var s Scratch
+	n.ForwardScratch(x, &s)
+	allocs := testing.AllocsPerRun(50, func() { n.ForwardScratch(x, &s) })
+	if allocs > 0 {
+		t.Fatalf("ForwardScratch allocates %.1f per call, want 0", allocs)
+	}
+}
