@@ -4,7 +4,10 @@ GO ?= go
 # PRs (compare runs with benchstat; see README "Benchmarks").
 BENCH_SUBSTRATE ?= BenchmarkHasEdge|BenchmarkMaximalCliques|BenchmarkScoreCliques|BenchmarkFeatures|BenchmarkDegeneracyOrdering|BenchmarkCommonNeighborCount|BenchmarkSumMinCommonWeight|BenchmarkMLPForward
 
-.PHONY: all build fmt fmt-fix vet test race bench bench-substrate bench-json check
+# Flags for the bench-regression gate (CI overrides warn-only on pushes).
+BENCHDIFF_FLAGS ?= -warn-only
+
+.PHONY: all build fmt fmt-fix vet lint test race smoke bench bench-substrate bench-json bench-json-force bench-regress check
 
 all: check build
 
@@ -23,11 +26,31 @@ fmt-fix:
 vet:
 	$(GO) vet ./...
 
+# Static analysis + known-vulnerability scan (mirrored by the CI lint
+# job). Tools that are not installed are skipped with a pointer, so `make
+# lint` stays useful on minimal dev machines.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -run 'Batch|Cancel|Progress|Parallel' ./...
+	$(GO) test -race -run 'Batch|Cancel|Progress|Parallel|Server|Queue|Registry' ./...
+
+# End-to-end mariohd smoke test: boot the daemon, round-trip a
+# reconstruction against a golden CLI run, exercise graceful shutdown.
+smoke:
+	./scripts/smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
@@ -39,13 +62,40 @@ bench-substrate:
 # Record the substrate benchmarks into BENCH_<date>.json (test2json event
 # stream; the benchmark result lines are in the "Output" fields) so the
 # perf trajectory of the repo is kept under version control. Refuses to
-# overwrite an existing recording.
+# overwrite an existing recording; `make bench-json-force` re-records.
 bench-json:
 	@out=BENCH_$$(date +%Y-%m-%d).json; \
 	if [ -e "$$out" ]; then \
-		echo "$$out already exists; move it aside to re-record"; exit 1; \
+		echo "$$out already exists; run 'make bench-json-force' to overwrite it"; exit 1; \
 	fi; \
-	$(GO) test -run '^$$' -bench '$(BENCH_SUBSTRATE)' -benchmem -json . > "$$out" && \
-	echo "recorded $$out"
+	$(MAKE) --no-print-directory bench-json-force
+
+bench-json-force:
+	@out=BENCH_$$(date +%Y-%m-%d).json; \
+	prev=$$(ls BENCH_*.json 2>/dev/null | grep -vx "$$out" | sort | tail -1); \
+	if ! $(GO) test -run '^$$' -bench '$(BENCH_SUBSTRATE)' -benchmem -json . > "$$out"; then \
+		rm -f "$$out"; echo "bench-json: benchmark run failed, nothing recorded"; exit 1; \
+	fi; \
+	echo "recorded $$out"; \
+	if [ -n "$$prev" ]; then \
+		echo "compare against the previous recording with:"; \
+		echo "  go run ./cmd/benchdiff -against $$prev -new $$out"; \
+		echo "or with benchstat (go install golang.org/x/perf/cmd/benchstat@latest):"; \
+		echo "  benchstat <(jq -r 'select(.Action==\"output\").Output' $$prev) <(jq -r 'select(.Action==\"output\").Output' $$out)"; \
+	fi
+
+# Compare a fresh substrate run against the latest committed BENCH_*.json
+# (the CI bench-regression gate; warn-only by default, override with
+# BENCHDIFF_FLAGS=""). The fresh run goes through a temp file so a
+# crashing benchmark suite fails the gate instead of slipping past as
+# "missing" benchmarks.
+bench-regress:
+	@tmp=$$(mktemp); \
+	if ! $(GO) test -run '^$$' -bench '$(BENCH_SUBSTRATE)' -benchtime=0.2s . > "$$tmp"; then \
+		cat "$$tmp"; rm -f "$$tmp"; \
+		echo "bench-regress: benchmark run failed"; exit 1; \
+	fi; \
+	$(GO) run ./cmd/benchdiff -against latest -new "$$tmp" $(BENCHDIFF_FLAGS); \
+	st=$$?; rm -f "$$tmp"; exit $$st
 
 check: fmt vet test

@@ -12,6 +12,8 @@
 //	mariohctl reconstruct -train src.hg -target a.graph,b.graph -parallel 4 -out rec.hg
 //	mariohctl eval -truth ./data/crime.target.hg -rec ./rec.hg
 //	mariohctl demo -dataset hosts -variant marioh-b -progress
+//	mariohctl serve -addr :8080 -models-dir ./models
+//	mariohctl remote-reconstruct -server http://127.0.0.1:8080 -model m1 -target a.graph -out rec.hg
 package main
 
 import (
@@ -22,12 +24,13 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"marioh"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	os.Exit(run(ctx, os.Args[1:]))
 }
@@ -59,6 +62,16 @@ func run(ctx context.Context, args []string) int {
 		err = cmdEval(args[1:])
 	case "demo":
 		err = cmdDemo(ctx, args[1:])
+	case "serve":
+		err = cmdServe(ctx, args[1:])
+	case "remote-reconstruct":
+		err = cmdRemoteReconstruct(ctx, args[1:])
+	case "jobs":
+		err = cmdJobs(ctx, args[1:])
+	case "models":
+		err = cmdModels(ctx, args[1:])
+	case "push-model":
+		err = cmdPushModel(ctx, args[1:])
 	case "help", "-h", "-help", "--help":
 		usage()
 	default:
@@ -101,6 +114,13 @@ commands:
   eval         compare a reconstruction against the ground truth
   demo         end-to-end run on one dataset, printing accuracy
   help         print this message
+
+serving (see mariohd for the standalone daemon):
+  serve              run the mariohd HTTP daemon in-process
+  remote-reconstruct reconstruct target graph(s) through a running daemon
+  jobs               list, inspect, watch (-watch SSE) or cancel server jobs
+  models             list, pull or delete registry models on a daemon
+  push-model         upload a trained model file into a daemon's registry
 
 variants: %s
 featurizers: %s
@@ -340,8 +360,7 @@ func reconstructTargets(ctx context.Context, r *marioh.Reconstructor, paths []st
 	for i, res := range results {
 		path := out
 		if len(results) > 1 {
-			ext := filepath.Ext(out)
-			path = fmt.Sprintf("%s.%d%s", strings.TrimSuffix(out, ext), i, ext)
+			path = batchOutPath(out, i)
 		}
 		f, err := os.Create(path)
 		if err != nil {
@@ -408,6 +427,13 @@ func cmdDemo(ctx context.Context, args []string) error {
 		pr.Result.Hypergraph.NumUnique(), pr.Jaccard, pr.MultiJaccard,
 		pr.Result.Times.Filtering.Seconds(), pr.Result.Times.Bidirectional.Seconds())
 	return nil
+}
+
+// batchOutPath derives the per-target output path of a batch run by
+// inserting the target index before the extension.
+func batchOutPath(out string, i int) string {
+	ext := filepath.Ext(out)
+	return fmt.Sprintf("%s.%d%s", strings.TrimSuffix(out, ext), i, ext)
 }
 
 func readHypergraphFile(path string) (*marioh.Hypergraph, error) {

@@ -1,0 +1,68 @@
+// Command mariohd is the MARIOH reconstruction daemon: it serves the full
+// Reconstructor pipeline over HTTP — async train jobs, sync/async
+// reconstruction, batch fan-out, SSE progress streams, a named model
+// registry, and health/metrics endpoints.
+//
+// A server-side reconstruction is byte-identical to the same request made
+// through the library API: the handlers call the exact public
+// Reconstructor entry points with the options decoded from the request.
+//
+// Usage:
+//
+//	mariohd -addr :8080 -models-dir ./models
+//	mariohd -addr 127.0.0.1:0 -workers 4 -queue 128 -sync-edge-limit 20000
+//
+// SIGINT/SIGTERM trigger graceful shutdown: the listener closes, in-flight
+// requests and every accepted job drain (bounded by -shutdown-timeout),
+// and the process exits 0 after a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"marioh/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "job worker-pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "pending-job queue depth (submissions beyond it get 503)")
+	jobHistory := flag.Int("job-history", 256, "finished jobs kept inspectable (oldest evicted past it)")
+	modelsDir := flag.String("models-dir", "", "directory persisting the model registry (empty = in-memory)")
+	modelCache := flag.Int("model-cache", 8, "decoded-model LRU cache size")
+	syncLimit := flag.Int("sync-edge-limit", 20000, "largest target (edges) served synchronously by /v1/reconstruct")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "mariohd: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv, err := server.New(server.Config{
+		Addr:            *addr,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		JobHistory:      *jobHistory,
+		ModelsDir:       *modelsDir,
+		ModelCache:      *modelCache,
+		SyncEdgeLimit:   *syncLimit,
+		ShutdownTimeout: *shutdownTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mariohd:", err)
+		os.Exit(1)
+	}
+	if err := srv.ListenAndServe(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "mariohd:", err)
+		os.Exit(1)
+	}
+}

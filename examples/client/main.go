@@ -1,0 +1,122 @@
+// Client demonstrates serving MARIOH over HTTP: it boots a mariohd
+// server in-process on a random port, then drives the full /v1 surface
+// through the Go client — async training into the model registry, a
+// synchronous reconstruction, an async batch with SSE progress, and the
+// determinism guarantee (the served bytes equal a direct library call).
+//
+// Run with: go run ./examples/client
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"marioh"
+	"marioh/internal/server"
+)
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func text(write func(*bytes.Buffer) error) string {
+	var buf bytes.Buffer
+	must(write(&buf))
+	return buf.String()
+}
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Boot mariohd in-process on a random port.
+	srv, err := server.New(server.Config{
+		Addr:    "127.0.0.1:0",
+		Workers: 2,
+		Logf:    func(string, ...any) {}, // keep the example's output clean
+	})
+	must(err)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(ctx) }()
+	base := "http://" + srv.Addr()
+	c := server.NewClient(base)
+	fmt.Println("mariohd listening on", base)
+
+	h, err := c.Health(ctx)
+	must(err)
+	fmt.Printf("health: %s (v%s, %d workers)\n", h.Status, h.Version, h.Workers)
+
+	// Train on the source half of a generated dataset, server-side.
+	ds, err := marioh.GenerateDataset("hosts", 1)
+	must(err)
+	src, tgt := ds.Source.Reduced(), ds.Target.Reduced()
+	job, err := c.Train(ctx, server.TrainRequest{
+		Source:  text(func(b *bytes.Buffer) error { return src.Write(b) }),
+		SaveAs:  "hosts-v1",
+		Options: server.OptionSpec{Seed: 1, Epochs: 25},
+	})
+	must(err)
+	job, err = c.WaitJob(ctx, job.ID, 50*time.Millisecond)
+	must(err)
+	var trained server.TrainResult
+	must(server.JobResult(job, &trained))
+	fmt.Printf("trained %q (%d positives, %.0f ms)\n",
+		trained.Model, trained.Positives, 1000*(trained.SampleSeconds+trained.TrainSeconds))
+
+	// Synchronous reconstruction of the target projection.
+	target := text(func(b *bytes.Buffer) error { return tgt.Project().Write(b) })
+	resp, _, err := c.Reconstruct(ctx, server.ReconstructRequest{
+		Model: "hosts-v1", Target: target, Options: server.OptionSpec{Seed: 1},
+	})
+	must(err)
+	fmt.Printf("sync reconstruct: %d unique hyperedges in %d rounds (job %s)\n",
+		resp.Result.Unique, resp.Result.Rounds, resp.JobID)
+
+	// Determinism: the served bytes equal the same run through the library.
+	model, err := c.PullModel(ctx, "hosts-v1")
+	must(err)
+	m, err := marioh.LoadModel(bytes.NewReader(model))
+	must(err)
+	lib, err := marioh.New(marioh.WithSeed(1), marioh.WithModel(m))
+	must(err)
+	parsed, err := marioh.ReadGraph(strings.NewReader(target))
+	must(err)
+	res, err := lib.Reconstruct(ctx, parsed)
+	must(err)
+	libText := text(func(b *bytes.Buffer) error { return res.Hypergraph.Write(b) })
+	fmt.Println("byte-identical to the library call:", libText == resp.Result.Hypergraph)
+
+	// Async batch over two targets, watching SSE progress while it runs.
+	batch, err := c.ReconstructBatch(ctx, server.ReconstructRequest{
+		Model: "hosts-v1", Targets: []string{target, target},
+		Options: server.OptionSpec{Seed: 1, Parallelism: 2},
+	})
+	must(err)
+	events := 0
+	sse, err := http.Get(base + "/v1/jobs/" + batch.ID + "/events")
+	must(err)
+	sc := bufio.NewScanner(sse.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: progress") {
+			events++
+		}
+	}
+	sse.Body.Close()
+	batch, err = c.WaitJob(ctx, batch.ID, 50*time.Millisecond)
+	must(err)
+	var batchResult server.BatchResult
+	must(server.JobResult(batch, &batchResult))
+	fmt.Printf("batch: %d results, %d SSE progress events\n", len(batchResult.Results), events)
+
+	// Graceful shutdown: cancel the serve context and wait for the drain.
+	cancel()
+	must(<-done)
+	fmt.Println("drained and shut down cleanly")
+}

@@ -137,6 +137,14 @@ func BuildExamples(gSrc *graph.Graph, hSrc *hypergraph.Hypergraph, opts TrainOpt
 	opts.defaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	feat := opts.Featurizer
+	// One shared Scratch across all examples: Compute's reusable buffers
+	// make extraction allocation-free per call, so only the retained copy
+	// of each vector is allocated (the Features fallback would rebuild
+	// O(NumNodes) pair-stat scratch for every single example).
+	var sc features.Scratch
+	extract := func(q []int, maximal bool) []float64 {
+		return append([]float64(nil), features.Compute(feat, &sc, gSrc, q, maximal)...)
+	}
 
 	posEdges := hSrc.UniqueEdges()
 	if opts.SupervisionRatio < 1 {
@@ -148,7 +156,7 @@ func BuildExamples(gSrc *graph.Graph, hSrc *hypergraph.Hypergraph, opts TrainOpt
 		posEdges = posEdges[:keep]
 	}
 	for _, e := range posEdges {
-		X = append(X, feat.Features(gSrc, e, isMaximalClique(gSrc, e)))
+		X = append(X, extract(e, isMaximalClique(gSrc, e)))
 		y = append(y, 1)
 	}
 
@@ -160,7 +168,7 @@ func BuildExamples(gSrc *graph.Graph, hSrc *hypergraph.Hypergraph, opts TrainOpt
 			break
 		}
 		if !hSrc.Contains(q) {
-			negs = append(negs, feat.Features(gSrc, q, true))
+			negs = append(negs, extract(q, true))
 		}
 	}
 	// Top up with random sub-cliques of random maximal cliques.
@@ -173,7 +181,7 @@ func BuildExamples(gSrc *graph.Graph, hSrc *hypergraph.Hypergraph, opts TrainOpt
 		k := 2 + rng.Intn(len(q)-2) // k in [2, |q|-1]
 		sub := ps.Sample(q, k, rng)
 		if !hSrc.Contains(sub) {
-			negs = append(negs, feat.Features(gSrc, sub, false))
+			negs = append(negs, extract(sub, false))
 		}
 	}
 	for _, f := range negs {

@@ -1,0 +1,186 @@
+// Package server implements mariohd, the HTTP daemon that serves the
+// MARIOH reconstruction pipeline: asynchronous train jobs, synchronous and
+// asynchronous reconstruction, batch fan-out, per-job SSE progress
+// streams, a named model registry, and health/metrics endpoints. Graphs
+// and hypergraphs cross the wire in the same line-oriented text formats
+// the library and CLI use, so a server-side reconstruction is byte-
+// identical to the equivalent library call.
+package server
+
+import (
+	"strings"
+
+	"marioh"
+	"marioh/internal/service"
+)
+
+// OptionSpec is the JSON form of the Reconstructor's functional options,
+// carried by train and reconstruct request payloads. Zero values mean
+// "paper default"; the float pointers distinguish "absent" from an
+// explicit zero (θ_init, r and α all accept genuine zeros).
+type OptionSpec struct {
+	Variant     string   `json:"variant,omitempty"`
+	Featurizer  string   `json:"featurizer,omitempty"`
+	ThetaInit   *float64 `json:"theta_init,omitempty"`
+	R           *float64 `json:"r,omitempty"`
+	Alpha       *float64 `json:"alpha,omitempty"`
+	MaxRounds   int      `json:"max_rounds,omitempty"`
+	CliqueLimit int      `json:"clique_limit,omitempty"`
+	Seed        int64    `json:"seed,omitempty"`
+	Epochs      int      `json:"epochs,omitempty"`
+	Hidden      []int    `json:"hidden,omitempty"`
+	Supervision float64  `json:"supervision,omitempty"`
+	NegRatio    float64  `json:"negative_ratio,omitempty"`
+	Parallelism int      `json:"parallelism,omitempty"`
+}
+
+// Options resolves the spec into functional options for marioh.New. The
+// variant/featurizer names are resolved through the service registry
+// first, so unknown names fail here — before a job is queued — with an
+// error listing the valid alternatives.
+func (s OptionSpec) Options() ([]marioh.Option, error) {
+	if _, _, err := service.Resolve(s.Variant, s.Featurizer); err != nil {
+		return nil, err
+	}
+	opts := []marioh.Option{marioh.WithSeed(s.Seed)}
+	if s.Variant != "" {
+		opts = append(opts, marioh.WithVariant(s.Variant))
+	}
+	if s.Featurizer != "" {
+		opts = append(opts, marioh.WithFeaturizer(s.Featurizer))
+	}
+	if s.ThetaInit != nil {
+		opts = append(opts, marioh.WithThetaInit(*s.ThetaInit))
+	}
+	if s.R != nil {
+		opts = append(opts, marioh.WithR(*s.R))
+	}
+	if s.Alpha != nil {
+		opts = append(opts, marioh.WithAlpha(*s.Alpha))
+	}
+	if s.MaxRounds > 0 {
+		opts = append(opts, marioh.WithMaxRounds(s.MaxRounds))
+	}
+	if s.CliqueLimit > 0 {
+		opts = append(opts, marioh.WithMaxCliqueLimit(s.CliqueLimit))
+	}
+	if s.Epochs > 0 {
+		opts = append(opts, marioh.WithEpochs(s.Epochs))
+	}
+	if len(s.Hidden) > 0 {
+		opts = append(opts, marioh.WithHidden(s.Hidden...))
+	}
+	if s.Supervision > 0 {
+		opts = append(opts, marioh.WithSupervisionRatio(s.Supervision))
+	}
+	if s.NegRatio > 0 {
+		opts = append(opts, marioh.WithNegativeRatio(s.NegRatio))
+	}
+	if s.Parallelism > 0 {
+		opts = append(opts, marioh.WithParallelism(s.Parallelism))
+	}
+	return opts, nil
+}
+
+// TrainRequest is the body of POST /v1/train. Source is a hypergraph in
+// the text format of marioh.ReadHypergraph; the trained model is saved in
+// the registry under SaveAs (default: the job ID).
+type TrainRequest struct {
+	Source  string     `json:"source"`
+	SaveAs  string     `json:"save_as,omitempty"`
+	Options OptionSpec `json:"options,omitempty"`
+}
+
+// TrainResult is a train job's result payload.
+type TrainResult struct {
+	Model         string  `json:"model"`
+	Featurizer    string  `json:"featurizer"`
+	Positives     int     `json:"positives"`
+	Negatives     int     `json:"negatives"`
+	SampleSeconds float64 `json:"sample_seconds"`
+	TrainSeconds  float64 `json:"train_seconds"`
+}
+
+// ReconstructRequest is the body of POST /v1/reconstruct (one Target) and
+// POST /v1/reconstruct/batch (Targets). Model names a registry entry;
+// targets are projected graphs in the text format of marioh.ReadGraph.
+// Async forces the execution mode; when nil, single reconstructions run
+// synchronously up to the server's sync edge limit.
+type ReconstructRequest struct {
+	Model   string     `json:"model"`
+	Target  string     `json:"target,omitempty"`
+	Targets []string   `json:"targets,omitempty"`
+	Options OptionSpec `json:"options,omitempty"`
+	Async   *bool      `json:"async,omitempty"`
+}
+
+// ReconstructResult is the result payload of one reconstruction: the
+// hypergraph in marioh text format plus the run's metadata.
+type ReconstructResult struct {
+	Hypergraph    string  `json:"hypergraph"`
+	Unique        int     `json:"unique"`
+	Total         int     `json:"total"`
+	Rounds        int     `json:"rounds"`
+	FilteredSize2 int     `json:"filtered_size2"`
+	FilterSeconds float64 `json:"filter_seconds"`
+	SearchSeconds float64 `json:"search_seconds"`
+}
+
+// BatchResult is a batch job's result payload, positionally aligned with
+// the request's Targets.
+type BatchResult struct {
+	Results []ReconstructResult `json:"results"`
+}
+
+// ReconstructResponse is the 200 body of a synchronous reconstruction;
+// asynchronous submissions return a JobInfo with status 202 instead.
+type ReconstructResponse struct {
+	JobID  string            `json:"job_id"`
+	Result ReconstructResult `json:"result"`
+}
+
+// ProgressEvent is the SSE wire form of a marioh.Progress snapshot.
+type ProgressEvent struct {
+	Target         int     `json:"target"`
+	Round          int     `json:"round"`
+	Theta          float64 `json:"theta"`
+	EdgesRemaining int     `json:"edges_remaining"`
+	AcceptedRound  int     `json:"accepted_round"`
+	AcceptedTotal  int     `json:"accepted_total"`
+}
+
+func progressEvent(p marioh.Progress) ProgressEvent {
+	return ProgressEvent{
+		Target:         p.Target,
+		Round:          p.Round,
+		Theta:          p.Theta,
+		EdgesRemaining: p.EdgesRemaining,
+		AcceptedRound:  p.AcceptedRound,
+		AcceptedTotal:  p.AcceptedTotal,
+	}
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	Models        int     `json:"models"`
+}
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// parseHypergraph decodes the wire text format of a hypergraph.
+func parseHypergraph(text string) (*marioh.Hypergraph, error) {
+	return marioh.ReadHypergraph(strings.NewReader(text))
+}
+
+// parseGraph decodes the wire text format of a projected graph.
+func parseGraph(text string) (*marioh.Graph, error) {
+	return marioh.ReadGraph(strings.NewReader(text))
+}

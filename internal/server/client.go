@@ -1,0 +1,255 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client is a thin Go client for a running mariohd: it speaks the /v1 API
+// and backs the mariohctl remote subcommands and examples/client.
+type Client struct {
+	// Base is the server's base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP overrides the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the given base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// doRaw issues a request with a JSON body (nil for none) and returns the
+// response status and raw body. Non-2xx responses are returned as errors
+// carrying the server's error envelope.
+func (c *Client) doRaw(ctx context.Context, method, path string, body any) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr apiError
+		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+			return resp.StatusCode, raw, fmt.Errorf("server: %s %s: %s (%s)", method, path, apiErr.Error, resp.Status)
+		}
+		return resp.StatusCode, raw, fmt.Errorf("server: %s %s: %s", method, path, resp.Status)
+	}
+	return resp.StatusCode, raw, nil
+}
+
+// do issues a request and decodes the JSON response into out (nil to
+// discard).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	_, raw, err := c.doRaw(ctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Train submits an async training job.
+func (c *Client) Train(ctx context.Context, req TrainRequest) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/train", req, &info)
+	return info, err
+}
+
+// Reconstruct submits a reconstruction. A synchronous run (HTTP 200)
+// returns the result; an asynchronous submission (HTTP 202) returns the
+// job to poll (resp nil).
+func (c *Client) Reconstruct(ctx context.Context, req ReconstructRequest) (*ReconstructResponse, *JobInfo, error) {
+	status, raw, err := c.doRaw(ctx, http.MethodPost, "/v1/reconstruct", req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if status == http.StatusAccepted {
+		var info JobInfo
+		if err := json.Unmarshal(raw, &info); err != nil {
+			return nil, nil, err
+		}
+		return nil, &info, nil
+	}
+	var resp ReconstructResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, nil, err
+	}
+	return &resp, nil, nil
+}
+
+// ReconstructBatch submits an async batch job over several targets.
+func (c *Client) ReconstructBatch(ctx context.Context, req ReconstructRequest) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/reconstruct/batch", req, &info)
+	return info, err
+}
+
+// Job fetches one job.
+func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// Jobs lists every job.
+func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
+	var out []JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// CancelJob requests cancellation of a job.
+func (c *Client) CancelJob(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// WaitJob polls a job until it reaches a terminal state (or ctx ends).
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (JobInfo, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return info, err
+		}
+		if info.Status.Terminal() {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// JobResult decodes a terminal job's result payload into out (pass a
+// *TrainResult, *ReconstructResult or *BatchResult matching the job kind).
+func JobResult(info JobInfo, out any) error {
+	if !info.Status.Terminal() {
+		return fmt.Errorf("server: job %s is %s, not finished", info.ID, info.Status)
+	}
+	if info.Status != StatusSucceeded {
+		return fmt.Errorf("server: job %s %s: %s", info.ID, info.Status, info.Error)
+	}
+	raw, err := json.Marshal(info.Result)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Models lists the registry.
+func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
+	var out []ModelInfo
+	err := c.do(ctx, http.MethodGet, "/v1/models", nil, &out)
+	return out, err
+}
+
+// PushModel uploads a serialized model under name.
+func (c *Client) PushModel(ctx context.Context, name string, raw []byte) (ModelInfo, error) {
+	var info ModelInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		c.Base+"/v1/models/"+url.PathEscape(name), bytes.NewReader(raw))
+	if err != nil {
+		return info, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return info, err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		var apiErr apiError
+		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
+			return info, fmt.Errorf("server: push model: %s (%s)", apiErr.Error, resp.Status)
+		}
+		return info, fmt.Errorf("server: push model: %s", resp.Status)
+	}
+	err = json.Unmarshal(body, &info)
+	return info, err
+}
+
+// PullModel downloads a model's serialized JSON.
+func (c *Client) PullModel(ctx context.Context, name string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.Base+"/v1/models/"+url.PathEscape(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr apiError
+		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+			return nil, fmt.Errorf("server: pull model: %s (%s)", apiErr.Error, resp.Status)
+		}
+		return nil, fmt.Errorf("server: pull model: %s", resp.Status)
+	}
+	return raw, nil
+}
+
+// DeleteModel removes a registry entry.
+func (c *Client) DeleteModel(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/models/"+url.PathEscape(name), nil, nil)
+}

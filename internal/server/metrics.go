@@ -1,0 +1,143 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics aggregates the counters behind GET /metrics: per-route request
+// and status counts, in-flight requests, job outcomes, and per-stage
+// latency totals. Everything is exported in the Prometheus text format,
+// hand-rolled so the server stays dependency-free.
+type Metrics struct {
+	mu       sync.Mutex
+	start    time.Time
+	requests map[string]int64 // route → count
+	statuses map[int]int64    // HTTP status → count
+	inflight int64
+	jobs     map[string]int64 // submitted/succeeded/failed/cancelled
+	stages   map[string]*stageStat
+}
+
+// stageStat accumulates wall-clock spent in one pipeline stage.
+type stageStat struct {
+	count int64
+	total time.Duration
+	max   time.Duration
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:    time.Now(),
+		requests: map[string]int64{},
+		statuses: map[int]int64{},
+		jobs:     map[string]int64{},
+		stages:   map[string]*stageStat{},
+	}
+}
+
+// Request records one served request on a route with its response status.
+func (m *Metrics) Request(route string, status int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[route]++
+	m.statuses[status]++
+}
+
+// InflightAdd tracks requests currently being served (delta ±1).
+func (m *Metrics) InflightAdd(delta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight += delta
+}
+
+// Job records a job lifecycle event ("submitted", or a terminal status).
+func (m *Metrics) Job(event string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs[event]++
+}
+
+// Stage records time spent in a named pipeline stage (train_sample,
+// train_optimize, filter, search).
+func (m *Metrics) Stage(name string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.stages[name]
+	if !ok {
+		s = &stageStat{}
+		m.stages[name] = s
+	}
+	s.count++
+	s.total += d
+	if d > s.max {
+		s.max = d
+	}
+}
+
+// Render writes the Prometheus text exposition. queueDepth and jobCounts
+// are sampled by the caller from the live queue.
+func (m *Metrics) Render(w io.Writer, queueDepth int, jobCounts map[JobStatus]int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# TYPE marioh_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "marioh_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+
+	fmt.Fprintf(w, "# TYPE marioh_requests_total counter\n")
+	for _, route := range sortedKeys(m.requests) {
+		fmt.Fprintf(w, "marioh_requests_total{route=%q} %d\n", route, m.requests[route])
+	}
+	fmt.Fprintf(w, "# TYPE marioh_responses_total counter\n")
+	statuses := make([]int, 0, len(m.statuses))
+	for s := range m.statuses {
+		statuses = append(statuses, s)
+	}
+	sort.Ints(statuses)
+	for _, s := range statuses {
+		fmt.Fprintf(w, "marioh_responses_total{status=\"%d\"} %d\n", s, m.statuses[s])
+	}
+	fmt.Fprintf(w, "# TYPE marioh_requests_inflight gauge\n")
+	fmt.Fprintf(w, "marioh_requests_inflight %d\n", m.inflight)
+
+	fmt.Fprintf(w, "# TYPE marioh_queue_depth gauge\n")
+	fmt.Fprintf(w, "marioh_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# TYPE marioh_jobs gauge\n")
+	for _, st := range []JobStatus{StatusQueued, StatusRunning, StatusSucceeded, StatusFailed, StatusCancelled} {
+		fmt.Fprintf(w, "marioh_jobs{status=%q} %d\n", st, jobCounts[st])
+	}
+	fmt.Fprintf(w, "# TYPE marioh_job_events_total counter\n")
+	for _, ev := range sortedKeys(m.jobs) {
+		fmt.Fprintf(w, "marioh_job_events_total{event=%q} %d\n", ev, m.jobs[ev])
+	}
+
+	fmt.Fprintf(w, "# TYPE marioh_stage_seconds_total counter\n")
+	for _, name := range sortedStageKeys(m.stages) {
+		s := m.stages[name]
+		fmt.Fprintf(w, "marioh_stage_seconds_total{stage=%q} %.6f\n", name, s.total.Seconds())
+		fmt.Fprintf(w, "marioh_stage_runs_total{stage=%q} %d\n", name, s.count)
+		fmt.Fprintf(w, "marioh_stage_seconds_max{stage=%q} %.6f\n", name, s.max.Seconds())
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedStageKeys(m map[string]*stageStat) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,295 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"marioh"
+)
+
+// Config are mariohd's knobs; the zero value serves on :8080 with
+// GOMAXPROCS workers, a 64-job queue, an 8-model cache and a memory-only
+// registry.
+type Config struct {
+	// Addr is the listen address (host:port; port 0 picks a free port).
+	Addr string
+	// Workers is the job worker-pool size. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the pending-job buffer; submissions beyond it get
+	// 503. Default 64.
+	QueueDepth int
+	// JobHistory bounds how many finished jobs (with results and event
+	// buffers) stay inspectable through the jobs endpoints; the oldest
+	// terminal jobs are evicted past it. Default 256.
+	JobHistory int
+	// ModelsDir persists the model registry; empty keeps models in memory.
+	ModelsDir string
+	// ModelCache is the decoded-model LRU size. Default 8.
+	ModelCache int
+	// SyncEdgeLimit is the largest target graph (in edges) POST
+	// /v1/reconstruct runs synchronously; bigger targets are queued as
+	// jobs. Default 20000.
+	SyncEdgeLimit int
+	// ShutdownTimeout bounds graceful shutdown: in-flight jobs get this
+	// long to drain before their contexts are cancelled. Default 30s.
+	ShutdownTimeout time.Duration
+	// Logf receives server logs. Default log.Printf.
+	Logf func(format string, args ...any)
+
+	// testProgressHook, when set (by tests), observes every progress event
+	// before it is published, letting tests block a reconstruction at a
+	// deterministic point.
+	testProgressHook marioh.ProgressFunc
+}
+
+func (c *Config) defaults() {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 256
+	}
+	if c.ModelCache <= 0 {
+		c.ModelCache = 8
+	}
+	if c.SyncEdgeLimit <= 0 {
+		c.SyncEdgeLimit = 20000
+	}
+	if c.ShutdownTimeout <= 0 {
+		c.ShutdownTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// Server is the mariohd HTTP service: a router over the job queue, the
+// model registry and the metrics registry.
+type Server struct {
+	cfg      Config
+	queue    *Queue
+	registry *Registry
+	metrics  *Metrics
+	mux      *http.ServeMux
+	start    time.Time
+
+	addrOnce  sync.Once
+	addrReady chan struct{} // closed once addr is final (bound or failed)
+	addr      string        // bound address; "" if listening failed
+}
+
+// New builds a Server (and its queue workers) from cfg. The queue lives
+// until Serve returns; a Server is single-use.
+func New(cfg Config) (*Server, error) {
+	cfg.defaults()
+	reg, err := NewRegistry(cfg.ModelsDir, cfg.ModelCache)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		queue:     NewQueue(context.Background(), cfg.Workers, cfg.QueueDepth, cfg.JobHistory),
+		registry:  reg,
+		metrics:   NewMetrics(),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		addrReady: make(chan struct{}),
+	}
+	s.routes()
+	return s, nil
+}
+
+// routes wires every endpoint through the metrics middleware.
+func (s *Server) routes() {
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	handle("POST /v1/train", s.handleTrain)
+	handle("POST /v1/reconstruct", s.handleReconstruct)
+	handle("POST /v1/reconstruct/batch", s.handleBatch)
+	handle("GET /v1/jobs", s.handleJobs)
+	handle("GET /v1/jobs/{id}", s.handleJob)
+	handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	handle("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	handle("GET /v1/models", s.handleModels)
+	handle("GET /v1/models/{name}", s.handleModelGet)
+	handle("PUT /v1/models/{name}", s.handleModelPut)
+	handle("DELETE /v1/models/{name}", s.handleModelDelete)
+	handle("GET /healthz", s.handleHealth)
+	handle("GET /metrics", s.handleMetrics)
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// flushStatusWriter adds Flush forwarding for underlying writers that
+// support it; statusWriter deliberately does NOT implement http.Flusher,
+// so the SSE handler's streaming-support check sees the truth about the
+// wrapped writer.
+type flushStatusWriter struct {
+	*statusWriter
+	flusher http.Flusher
+}
+
+func (w *flushStatusWriter) Flush() { w.flusher.Flush() }
+
+// instrument wraps a handler with panic recovery, in-flight tracking and
+// per-route request/status counting.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		var rw http.ResponseWriter = sw
+		if f, ok := w.(http.Flusher); ok {
+			rw = &flushStatusWriter{statusWriter: sw, flusher: f}
+		}
+		s.metrics.InflightAdd(1)
+		defer func() {
+			s.metrics.InflightAdd(-1)
+			if p := recover(); p != nil {
+				s.cfg.Logf("mariohd: panic serving %s: %v", route, p)
+				if sw.status == 0 {
+					s.writeError(sw, http.StatusInternalServerError, fmt.Errorf("internal error"))
+				}
+			}
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			s.metrics.Request(route, sw.status)
+		}()
+		h(rw, r)
+	})
+}
+
+// Handler returns the routed handler (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// writeJSON writes a JSON response body with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.cfg.Logf("mariohd: encoding response: %v", err)
+	}
+}
+
+// writeError writes the JSON error envelope.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// errStatus maps workload/registry errors to HTTP statuses: storage
+// faults are the server's (500), everything else unrecognized is treated
+// as a bad request.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrModelNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrStorage):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// ListenAndServe binds cfg.Addr and serves until ctx is cancelled, then
+// shuts down gracefully: the listener closes, in-flight requests and every
+// accepted job drain (bounded by ShutdownTimeout), and a clean drain
+// returns nil.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	l, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		s.setAddr("") // unblock Addr() so embedders see the failure
+		return err
+	}
+	return s.Serve(ctx, l)
+}
+
+// setAddr publishes the final listen address exactly once.
+func (s *Server) setAddr(addr string) {
+	s.addrOnce.Do(func() {
+		s.addr = addr
+		close(s.addrReady)
+	})
+}
+
+// Addr returns the bound address once it is known (blocking until then),
+// so callers binding port 0 can discover the port. It returns "" if the
+// listener failed to bind; repeated calls return the same value.
+func (s *Server) Addr() string {
+	<-s.addrReady
+	return s.addr
+}
+
+// Serve serves on l until ctx is cancelled, then drains gracefully.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	addr := l.Addr().String()
+	s.setAddr(addr)
+	s.cfg.Logf("mariohd %s listening on %s", marioh.Version, addr)
+
+	httpSrv := &http.Server{
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return context.Background() },
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	s.cfg.Logf("mariohd: shutdown requested, draining (timeout %s)", s.cfg.ShutdownTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+	defer cancel()
+
+	// Stop accepting requests and wait for in-flight ones (this includes
+	// synchronous reconstructions and SSE streams of running jobs).
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		s.cfg.Logf("mariohd: http shutdown: %v", err)
+	}
+	// Then drain the queued/running async jobs.
+	if err := s.queue.Drain(drainCtx); err != nil {
+		s.cfg.Logf("mariohd: queue drain aborted: %v", err)
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	counts := s.queue.Counts()
+	s.cfg.Logf("mariohd: drained cleanly (%d succeeded, %d failed, %d cancelled), exiting",
+		counts[StatusSucceeded], counts[StatusFailed], counts[StatusCancelled])
+	return nil
+}

@@ -123,6 +123,30 @@ func FeaturizerByName(name string) (features.Featurizer, bool) {
 	return f, ok
 }
 
+// Resolve maps the (variant, featurizer) name pair of a request payload —
+// a CLI invocation, a config file, or an HTTP body — to concrete
+// descriptors. Empty strings select the defaults: variant "marioh", and
+// the variant's own featurizer. The returned errors name the valid
+// alternatives, so callers (e.g. the mariohd handlers) can surface them to
+// users verbatim.
+func Resolve(variant, featurizer string) (Variant, features.Featurizer, error) {
+	if variant == "" {
+		variant = "marioh"
+	}
+	v, ok := VariantByName(variant)
+	if !ok {
+		return Variant{}, nil, fmt.Errorf("service: unknown variant %q (have %v)", variant, VariantNames())
+	}
+	if featurizer == "" {
+		featurizer = v.Featurizer
+	}
+	f, ok := FeaturizerByName(featurizer)
+	if !ok {
+		return Variant{}, nil, fmt.Errorf("service: unknown featurizer %q (have %v)", featurizer, FeaturizerNames())
+	}
+	return v, f, nil
+}
+
 // FeaturizerNames lists every resolvable featurizer: built-ins in their
 // canonical order, then custom registrations sorted by name.
 func FeaturizerNames() []string {

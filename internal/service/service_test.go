@@ -56,6 +56,27 @@ func TestFeaturizerResolution(t *testing.T) {
 	}
 }
 
+func TestResolve(t *testing.T) {
+	v, f, err := Resolve("", "")
+	if err != nil || v.Name != "marioh" || f.Name() != "marioh" {
+		t.Fatalf("Resolve defaults = %v, %v, %v", v, f, err)
+	}
+	v, f, err = Resolve("marioh-m", "")
+	if err != nil || v.Name != "marioh-m" || f.Name() != "shyre-count" {
+		t.Fatalf("Resolve(marioh-m) = %v, %v, %v", v, f, err)
+	}
+	v, f, err = Resolve("marioh-b", "shyre-motif")
+	if err != nil || !v.DisableBidirectional || f.Name() != "shyre-motif" {
+		t.Fatalf("Resolve override = %v, %v, %v", v, f, err)
+	}
+	if _, _, err := Resolve("nope", ""); err == nil {
+		t.Fatal("unknown variant must not resolve")
+	}
+	if _, _, err := Resolve("", "nope"); err == nil {
+		t.Fatal("unknown featurizer must not resolve")
+	}
+}
+
 // constFeat is a trivial custom featurizer for registration tests.
 type constFeat struct{ name string }
 

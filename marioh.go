@@ -34,6 +34,7 @@
 package marioh
 
 import (
+	"fmt"
 	"io"
 
 	"marioh/internal/core"
@@ -115,6 +116,15 @@ func DatasetNames() []string { return datasets.Names() }
 
 // LoadModel restores a classifier saved with Model.Save.
 func LoadModel(r io.Reader) (*Model, error) { return core.LoadModel(r) }
+
+// SaveModel writes m as JSON, the symmetric counterpart of LoadModel used
+// by model registries; it is equivalent to m.Save(w).
+func SaveModel(w io.Writer, m *Model) error {
+	if m == nil {
+		return fmt.Errorf("marioh: cannot save a nil model")
+	}
+	return m.Save(w)
+}
 
 // Featurizer turns cliques into classifier feature vectors.
 type Featurizer = features.Featurizer

@@ -347,6 +347,21 @@ func (r *Reconstructor) Model() *Model {
 	return r.model
 }
 
+// SetModel attaches or replaces the Reconstructor's model after
+// construction, the hook model registries (e.g. the mariohd server's) use
+// to swap stored classifiers into a configured service. It is safe to call
+// concurrently with Reconstruct*; in-flight runs keep the model they
+// started with.
+func (r *Reconstructor) SetModel(m *Model) error {
+	if m == nil {
+		return errors.New("marioh: nil model")
+	}
+	r.mu.Lock()
+	r.model = m
+	r.mu.Unlock()
+	return nil
+}
+
 // Reconstruct runs MARIOH on one target projected graph. Cancelling ctx
 // stops the run between rounds and mid-search; the partial result built so
 // far is returned together with ctx.Err().
