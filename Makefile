@@ -1,13 +1,15 @@
 GO ?= go
 
 # Substrate micro-benchmarks: the adjacency-engine hot paths tracked across
-# PRs (compare runs with benchstat; see README "Benchmarks").
-BENCH_SUBSTRATE ?= BenchmarkHasEdge|BenchmarkMaximalCliques|BenchmarkScoreCliques|BenchmarkFeatures|BenchmarkDegeneracyOrdering|BenchmarkCommonNeighborCount|BenchmarkSumMinCommonWeight|BenchmarkMLPForward
+# PRs (compare runs with benchstat; see README "Benchmarks"), plus the
+# shard-engine reconstruction bench (serial vs -shards N on the
+# multi-component graph; see README "Sharding").
+BENCH_SUBSTRATE ?= BenchmarkHasEdge|BenchmarkMaximalCliques|BenchmarkScoreCliques|BenchmarkFeatures|BenchmarkDegeneracyOrdering|BenchmarkCommonNeighborCount|BenchmarkSumMinCommonWeight|BenchmarkMLPForward|BenchmarkParallelScoring|BenchmarkShardedReconstruct
 
 # Flags for the bench-regression gate (CI overrides warn-only on pushes).
 BENCHDIFF_FLAGS ?= -warn-only
 
-.PHONY: all build fmt fmt-fix vet lint test race smoke bench bench-substrate bench-json bench-json-force bench-regress check
+.PHONY: all build fmt fmt-fix vet lint test race smoke shard-check bench bench-substrate bench-json bench-json-force bench-regress check
 
 all: check build
 
@@ -45,12 +47,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -run 'Batch|Cancel|Progress|Parallel|Server|Queue|Registry' ./...
+	$(GO) test -race -run 'Batch|Cancel|Progress|Parallel|Server|Queue|Registry|Shard|RunTasks' ./...
 
 # End-to-end mariohd smoke test: boot the daemon, round-trip a
 # reconstruction against a golden CLI run, exercise graceful shutdown.
 smoke:
 	./scripts/smoke.sh
+
+# Shard/serial equivalence matrix: reconstruct bundled datasets with
+# -shards 1/4/16 and require byte-identical output versus the serial
+# golden run (mirrored by the CI shard-equivalence job).
+shard-check:
+	./scripts/shard-check.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...

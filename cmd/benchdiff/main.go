@@ -13,8 +13,11 @@
 //	    go run ./cmd/benchdiff -against latest -tolerance 2 -warn-only=false
 //
 // Ratios are per-op (ns/op), so recordings and fresh runs may use
-// different -benchtime values. Benchmarks present on only one side are
-// reported but never fail the gate.
+// different -benchtime values. Benchmarks present only in the fresh run
+// are reported as new and never fail the gate; benchmarks present in the
+// baseline but missing from the fresh run are governed by -missing: they
+// warn by default (PR mode) and fail the gate with -missing=fail (main
+// mode) — a silently vanished benchmark is a silently shrunken perf gate.
 package main
 
 import (
@@ -141,12 +144,16 @@ func run() (int, error) {
 	fresh := flag.String("new", "-", `fresh benchmark results ("-" = stdin)`)
 	tolerance := flag.Float64("tolerance", 2.0, "maximum allowed slowdown ratio (new/old)")
 	warnOnly := flag.Bool("warn-only", false, "report regressions but always exit 0")
+	missing := flag.String("missing", "warn", `baseline benchmarks absent from the fresh run: "warn" or "fail"`)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		return 2, fmt.Errorf("unexpected arguments %q", flag.Args())
 	}
 	if *tolerance <= 0 {
 		return 2, fmt.Errorf("tolerance %v must be > 0", *tolerance)
+	}
+	if *missing != "warn" && *missing != "fail" {
+		return 2, fmt.Errorf(`-missing must be "warn" or "fail", got %q`, *missing)
 	}
 
 	baselinePath := *against
@@ -195,12 +202,13 @@ func run() (int, error) {
 
 	fmt.Printf("benchdiff: baseline %s, tolerance %.2fx\n", baselinePath, *tolerance)
 	fmt.Printf("%-40s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
-	regressions := 0
+	regressions, missed := 0, 0
 	for _, name := range names {
 		old := baseline[name]
 		cur, ok := current[name]
 		if !ok {
 			fmt.Printf("%-40s %14.1f %14s %8s  (missing from fresh run)\n", name, old, "-", "-")
+			missed++
 			continue
 		}
 		ratio := cur / old
@@ -217,15 +225,30 @@ func run() (int, error) {
 		}
 	}
 
+	failed := false
+	if missed > 0 {
+		fmt.Printf("benchdiff: %d baseline benchmark(s) missing from the fresh run\n", missed)
+		if *missing == "fail" {
+			fmt.Println("benchdiff: failing (-missing=fail): a removed or renamed benchmark silently shrinks the gate")
+			failed = true
+		} else {
+			fmt.Println("benchdiff: warning only (-missing=warn); main builds run with -missing=fail")
+		}
+	}
 	if regressions > 0 {
 		fmt.Printf("benchdiff: %d benchmark(s) regressed beyond %.2fx\n", regressions, *tolerance)
 		if *warnOnly {
-			fmt.Println("benchdiff: warn-only mode, not failing")
-			return 0, nil
+			fmt.Println("benchdiff: warn-only mode, not failing on regressions")
+		} else {
+			failed = true
 		}
+	}
+	if failed {
 		return 1, nil
 	}
-	fmt.Println("benchdiff: no regressions")
+	if regressions == 0 {
+		fmt.Println("benchdiff: no regressions")
+	}
 	return 0, nil
 }
 

@@ -146,28 +146,35 @@ func parse(fs *flag.FlagSet, args []string) error {
 // serviceFlags are the flags shared by every subcommand that builds a
 // Reconstructor.
 type serviceFlags struct {
-	seed     *int64
-	variant  *string
-	theta    *float64
-	ratio    *float64
-	alpha    *float64
-	parallel *int
-	progress *bool
+	seed        *int64
+	variant     *string
+	theta       *float64
+	ratio       *float64
+	alpha       *float64
+	parallel    *int
+	shards      *int
+	shardTarget *int
+	progress    *bool
 }
 
 func addServiceFlags(fs *flag.FlagSet) *serviceFlags {
 	return &serviceFlags{
-		seed:     fs.Int64("seed", 1, "random seed"),
-		variant:  fs.String("variant", "marioh", "algorithm variant: "+strings.Join(marioh.VariantNames(), " | ")),
-		theta:    fs.Float64("theta", 0.9, "initial classification threshold"),
-		ratio:    fs.Float64("r", 40, "negative prediction processing ratio (%)"),
-		alpha:    fs.Float64("alpha", 1.0/20, "threshold adjust ratio"),
-		parallel: fs.Int("parallel", 0, "batch worker count (0 = GOMAXPROCS)"),
-		progress: fs.Bool("progress", false, "print per-round progress to stderr"),
+		seed:        fs.Int64("seed", 1, "random seed"),
+		variant:     fs.String("variant", "marioh", "algorithm variant: "+strings.Join(marioh.VariantNames(), " | ")),
+		theta:       fs.Float64("theta", 0.9, "initial classification threshold"),
+		ratio:       fs.Float64("r", 40, "negative prediction processing ratio (%)"),
+		alpha:       fs.Float64("alpha", 1.0/20, "threshold adjust ratio"),
+		parallel:    fs.Int("parallel", 0, "batch worker count (0 = GOMAXPROCS)"),
+		shards:      fs.Int("shards", 0, "shard-parallel reconstruction: shard count (0 = off, output is identical either way)"),
+		shardTarget: fs.Int("shard-target", 0, "shard size target in edges; components above it split along bridges (0 = auto)"),
+		progress:    fs.Bool("progress", false, "print per-round progress to stderr"),
 	}
 }
 
-func (sf *serviceFlags) options(extra ...marioh.Option) []marioh.Option {
+func (sf *serviceFlags) options(extra ...marioh.Option) ([]marioh.Option, error) {
+	if *sf.shards == 0 && *sf.shardTarget != 0 {
+		return nil, usageError{msg: "-shard-target requires -shards (sharding is off at -shards 0)"}
+	}
 	opts := []marioh.Option{
 		marioh.WithSeed(*sf.seed),
 		marioh.WithVariant(*sf.variant),
@@ -176,18 +183,29 @@ func (sf *serviceFlags) options(extra ...marioh.Option) []marioh.Option {
 		marioh.WithAlpha(*sf.alpha),
 		marioh.WithParallelism(*sf.parallel),
 	}
-	if *sf.progress {
-		opts = append(opts, marioh.WithProgress(func(p marioh.Progress) {
-			if p.Round == 0 {
-				fmt.Fprintf(os.Stderr, "  [t%d] filtered %d size-2 occurrences, %d edges remain\n",
-					p.Target, p.AcceptedRound, p.EdgesRemaining)
-				return
-			}
-			fmt.Fprintf(os.Stderr, "  [t%d] round %d: θ=%.3f accepted %d (total %d), %d edges remain\n",
-				p.Target, p.Round, p.Theta, p.AcceptedRound, p.AcceptedTotal, p.EdgesRemaining)
+	if *sf.shards != 0 {
+		opts = append(opts, marioh.WithSharding(marioh.ShardingOptions{
+			Shards:      *sf.shards,
+			TargetEdges: *sf.shardTarget,
 		}))
 	}
-	return append(opts, extra...)
+	if *sf.progress {
+		sharded := *sf.shards != 0
+		opts = append(opts, marioh.WithProgress(func(p marioh.Progress) {
+			tag := fmt.Sprintf("t%d", p.Target)
+			if sharded {
+				tag = fmt.Sprintf("t%d/s%d", p.Target, p.Shard)
+			}
+			if p.Round == 0 {
+				fmt.Fprintf(os.Stderr, "  [%s] filtered %d size-2 occurrences, %d edges remain\n",
+					tag, p.AcceptedRound, p.EdgesRemaining)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "  [%s] round %d: θ=%.3f accepted %d (total %d), %d edges remain\n",
+				tag, p.Round, p.Theta, p.AcceptedRound, p.AcceptedTotal, p.EdgesRemaining)
+		}))
+	}
+	return append(opts, extra...), nil
 }
 
 func cmdGen(ctx context.Context, args []string) error {
@@ -254,7 +272,11 @@ func cmdReconstruct(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	r, err := marioh.New(sf.options(marioh.WithEpochs(*epochs))...)
+	opts, err := sf.options(marioh.WithEpochs(*epochs))
+	if err != nil {
+		return err
+	}
+	r, err := marioh.New(opts...)
 	if err != nil {
 		return err
 	}
@@ -330,7 +352,11 @@ func cmdApply(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	r, err := marioh.New(sf.options(marioh.WithModel(model))...)
+	opts, err := sf.options(marioh.WithModel(model))
+	if err != nil {
+		return err
+	}
+	r, err := marioh.New(opts...)
 	if err != nil {
 		return err
 	}
@@ -413,7 +439,11 @@ func cmdDemo(ctx context.Context, args []string) error {
 		return err
 	}
 
-	r, err := marioh.New(sf.options(marioh.WithEpochs(*epochs))...)
+	opts, err := sf.options(marioh.WithEpochs(*epochs))
+	if err != nil {
+		return err
+	}
+	r, err := marioh.New(opts...)
 	if err != nil {
 		return err
 	}

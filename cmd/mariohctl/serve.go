@@ -58,6 +58,8 @@ func cmdRemoteReconstruct(ctx context.Context, args []string) error {
 	out := fs.String("out", "reconstructed.hg", "output hypergraph file (batch runs insert the target index)")
 	seed := fs.Int64("seed", 1, "random seed")
 	variant := fs.String("variant", "", "algorithm variant (empty = server default)")
+	shards := fs.Int("shards", 0, "shard-parallel reconstruction on the server: shard count (0 = off)")
+	shardTarget := fs.Int("shard-target", 0, "server-side shard size target in edges (0 = auto)")
 	async := fs.Bool("async", false, "force asynchronous execution and poll the job")
 	if err := parse(fs, args); err != nil {
 		return err
@@ -66,7 +68,7 @@ func cmdRemoteReconstruct(ctx context.Context, args []string) error {
 		return usageError{msg: "remote-reconstruct: -model and -target are required"}
 	}
 	c := server.NewClient(*base)
-	opts := server.OptionSpec{Seed: *seed, Variant: *variant}
+	opts := server.OptionSpec{Seed: *seed, Variant: *variant, Shards: *shards, ShardTarget: *shardTarget}
 
 	paths := strings.Split(*targetPath, ",")
 	targets := make([]string, len(paths))
@@ -127,9 +129,13 @@ func cmdRemoteReconstruct(ctx context.Context, args []string) error {
 		if err := os.WriteFile(path, []byte(r.Hypergraph), 0o644); err != nil {
 			return err
 		}
+		sharded := ""
+		if r.Shards > 0 {
+			sharded = fmt.Sprintf(", %d shards", r.Shards)
+		}
 		fmt.Printf("reconstructed %d unique hyperedges (%d occurrences) in %d rounds "+
-			"(filter %.3fs, search %.3fs) -> %s\n",
-			r.Unique, r.Total, r.Rounds, r.FilterSeconds, r.SearchSeconds, path)
+			"(filter %.3fs, search %.3fs%s) -> %s\n",
+			r.Unique, r.Total, r.Rounds, r.FilterSeconds, r.SearchSeconds, sharded, path)
 	}
 	return nil
 }

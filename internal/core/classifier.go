@@ -246,19 +246,26 @@ func isMaximalClique(g *graph.Graph, q []int) bool {
 	return !found
 }
 
+// Intner is the minimal randomness source PermSampler consumes; both
+// *rand.Rand and the search engine's sampleRNG satisfy it.
+type Intner interface {
+	Intn(n int) int
+}
+
 // PermSampler draws sorted random k-subsets of a slice while reusing one
 // permutation buffer between draws. The buffer replays exactly the Intn
 // draw sequence of rand.Perm — including the throwaway Intn(1) of its
 // first iteration — so seeded outputs are bit-for-bit identical to an
-// rng.Perm-based sampler, just without the per-call permutation
-// allocation. Shared by the MARIOH search and the SHyRe baselines; not
-// safe for concurrent use. The zero value is ready to use.
+// rng.Perm-based sampler over the same Intn stream, just without the
+// per-call permutation allocation. Shared by the MARIOH search and the
+// SHyRe baselines; not safe for concurrent use. The zero value is ready
+// to use.
 type PermSampler struct {
 	perm []int
 }
 
 // Sample returns a sorted random k-subset of q.
-func (ps *PermSampler) Sample(q []int, k int, rng *rand.Rand) []int {
+func (ps *PermSampler) Sample(q []int, k int, rng Intner) []int {
 	n := len(q)
 	if cap(ps.perm) < n {
 		ps.perm = make([]int, n)

@@ -236,8 +236,7 @@ func TestBidirectionalSearchRespectsConsumedEdges(t *testing.T) {
 	g.AddWeight(2, 3, 1) // {1,2,3} is also a clique, sharing edge {1,2}
 	m := Train(h.Project(), h, TrainOptions{Seed: 1})
 	rec := hypergraph.New(4)
-	rng := rand.New(rand.NewSource(1))
-	BidirectionalSearch(g, m, SearchOptions{Theta: 0, R: 100}, rec, rng)
+	BidirectionalSearch(g, m, SearchOptions{Theta: 0, R: 100, Seed: 1}, rec)
 	// Whichever triangle is taken first, the shared edge {1,2} can only be
 	// consumed once in total across size-3 acceptances.
 	if rec.Contains([]int{0, 1, 2}) && rec.Contains([]int{1, 2, 3}) {

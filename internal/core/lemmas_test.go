@@ -95,8 +95,8 @@ func TestSearchNeverIncreasesWeight(t *testing.T) {
 		rec := hypergraph.New(10)
 		for round := 0; round < 50 && g.NumEdges() > 0; round++ {
 			before := g.TotalWeight()
-			accepted := BidirectionalSearch(g, m, SearchOptions{Theta: 0.5, R: 50},
-				rec, rand.New(rand.NewSource(int64(round))))
+			accepted := BidirectionalSearch(g, m, SearchOptions{Theta: 0.5, R: 50,
+				Round: round, Seed: int64(trial)}, rec)
 			after := g.TotalWeight()
 			if after > before {
 				t.Fatalf("weight grew: %d -> %d", before, after)

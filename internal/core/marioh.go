@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"math/rand"
 	"time"
 
 	"marioh/internal/graph"
@@ -75,6 +74,10 @@ type Progress struct {
 	// Target is the batch index of the graph being reconstructed; 0 for
 	// single-target runs. Set by marioh.(*Reconstructor).ReconstructBatch.
 	Target int
+	// Shard is the shard index the event belongs to; 0 for unsharded
+	// runs. Set by ReconstructSharded, whose per-shard events carry
+	// shard-local rounds and edge counts.
+	Shard int
 	// Round is the 1-based outer-loop round just completed; 0 reports the
 	// filtering step.
 	Round int
@@ -107,6 +110,10 @@ type Result struct {
 	// FilteredSize2 is the number of size-2 hyperedge occurrences the
 	// theoretically-guaranteed filtering emitted.
 	FilteredSize2 int
+	// Shards is the number of shards the run was partitioned into; 0 for
+	// the serial pipeline. For sharded runs, Times aggregates the
+	// per-shard breakdowns (durations are summed, Rounds is the maximum).
+	Shards int
 }
 
 // Reconstruct runs MARIOH (Algorithm 1) on the projected graph g with the
@@ -122,8 +129,25 @@ func Reconstruct(g *graph.Graph, m *Model, opts Options) *Result {
 // promptly when the context is cancelled. On cancellation it returns the
 // partial reconstruction built so far together with ctx.Err().
 func ReconstructContext(ctx context.Context, g *graph.Graph, m *Model, opts Options) (*Result, error) {
+	return reconstructGraph(ctx, g, m, opts, nil, nil)
+}
+
+// reconstructGraph is the round engine shared by the serial pipeline and
+// the per-shard executor. origID maps g's node ids back to the original
+// graph when g is a shard (nil = g is the original graph); cache, when
+// non-nil, lets rounds that accepted nothing skip re-enumeration and
+// re-scoring of the unchanged residual (the shard executor's fast path —
+// the serial pipeline runs cache-free as the reference implementation).
+//
+// Every round decomposes exactly over the connected components of the
+// residual graph: Phase 2's sampling streams and the stall fallback are
+// keyed per component (see SearchOptions), so reconstructing a union of
+// components equals the union of their reconstructions, round for round.
+// That property is what lets ReconstructSharded split a graph across
+// shards and merge per-shard results into the serial pipeline's exact
+// output.
+func reconstructGraph(ctx context.Context, g *graph.Graph, m *Model, opts Options, origID []int, cache *roundCache) (*Result, error) {
 	opts.defaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
 	work := g.Clone()
 	rec := hypergraph.New(g.NumNodes())
 	res := &Result{Hypergraph: rec}
@@ -159,7 +183,18 @@ func ReconstructContext(ctx context.Context, g *graph.Graph, m *Model, opts Opti
 			R:                 opts.R,
 			DisableSubcliques: opts.DisableBidirectional,
 			MaxCliqueLimit:    opts.MaxCliqueLimit,
-		}, rec, rng)
+			Round:             round,
+			Seed:              opts.Seed,
+			OrigID:            origID,
+			// Once θ has bottomed out at 0 (or is frozen by α = 0), a
+			// component where nothing scored above the threshold can no
+			// longer make Phase-1 progress; its edges are consumed as
+			// size-2 hyperedges so the loop always terminates. At θ = 0
+			// this only happens when scores underflow to exactly 0 — any
+			// positive score is accepted — so real models never hit it.
+			StallDump: theta == 0 || opts.Alpha == 0,
+			cache:     cache,
+		}, rec)
 		total += accepted
 		if opts.Progress != nil {
 			opts.Progress(Progress{
@@ -168,19 +203,6 @@ func ReconstructContext(ctx context.Context, g *graph.Graph, m *Model, opts Opti
 			})
 		}
 		theta = max(theta-opts.Alpha*opts.ThetaInit, 0)
-		// The ctx.Err() guard keeps a cancelled round (which reports
-		// accepted == 0) from dumping the residual edges into what is
-		// documented as a partial result.
-		if accepted == 0 && (theta == 0 || opts.Alpha == 0) && ctx.Err() == nil {
-			// θ has bottomed out (or is frozen by α = 0) and nothing scored
-			// above it — only possible in degenerate cases (e.g. an empty
-			// classifier); fall back to consuming the remaining edges as
-			// size-2 hyperedges so the loop always terminates.
-			for _, e := range work.Edges() {
-				rec.AddMult([]int{e.U, e.V}, e.W)
-				work.RemoveEdge(e.U, e.V)
-			}
-		}
 	}
 	return res, ctx.Err()
 }

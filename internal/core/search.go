@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"math/rand"
 	"sort"
 
 	"marioh/internal/graph"
@@ -15,6 +14,23 @@ type scoredClique struct {
 	score float64
 }
 
+// roundCache carries per-component clique enumeration and scoring results
+// across search rounds of one reconstruction run. A component that accepts
+// nothing in a round is unchanged, so its maximal cliques and scores next
+// round are bit-for-bit identical; the shard executor reuses them and
+// re-enumerates (through an induced subgraph) only the components that
+// consumed edges — where the serial pipeline re-enumerates and re-scores
+// the whole residual every round. The reuse is exact for the same reason
+// sharding is: every feature is component-local, so scoring a component's
+// cliques in an induced subgraph reproduces the full-graph scores bit for
+// bit. (Phase 1 and Phase 2 still run every round for every live
+// component; only enumeration and maximal-clique scoring are skipped.)
+// The serial pipeline deliberately runs cache-free — it is the reference
+// implementation the equivalence tests compare against.
+type roundCache struct {
+	comps map[int][]scoredClique // component key → its scored cliques
+}
+
 // SearchOptions configure one round of BidirectionalSearch.
 type SearchOptions struct {
 	// Ctx, when non-nil, is polled between the phases of the round and
@@ -24,13 +40,40 @@ type SearchOptions struct {
 	// Theta is the current acceptance threshold θ.
 	Theta float64
 	// R is the negative prediction processing ratio r (%): the share of
-	// below-threshold maximal cliques whose sub-cliques are explored.
+	// below-threshold maximal cliques, per connected component, whose
+	// sub-cliques are explored.
 	R float64
 	// DisableSubcliques skips Phase 2 entirely (the MARIOH-B ablation).
 	DisableSubcliques bool
 	// MaxCliqueLimit caps maximal-clique enumeration per round (safety
 	// valve for pathologically dense residual graphs); ≤ 0 means no cap.
+	// The cap is a global per-round budget, so it is the one option that
+	// does not decompose over shards (see ReconstructSharded).
 	MaxCliqueLimit int
+	// Round is the 0-based global round index. Together with Seed it keys
+	// the per-component sub-clique sampling streams, which is what makes a
+	// round decompose exactly over connected components (and therefore
+	// over shards): the samples drawn for one component never depend on
+	// what other components — possibly living in other shards — are doing.
+	Round int
+	// Seed is the run seed (Options.Seed).
+	Seed int64
+	// OrigID maps node ids of g to the ids of the original unsharded
+	// graph; nil means g is the original graph. The mapping must be
+	// order-preserving. Component sampling streams are keyed by original
+	// ids, so a shard draws exactly the samples the serial run draws for
+	// the same component.
+	OrigID []int
+	// StallDump, when true, dumps the remaining edges of every component
+	// that accepted nothing this round as size-2 hyperedges — the
+	// termination guarantee for bottomed-out (or α-frozen) thresholds,
+	// applied per component so it decomposes over shards. Dumped
+	// occurrences count as accepted.
+	StallDump bool
+	// cache, when non-nil, reuses the previous round's enumeration and
+	// scores if the residual graph has not changed, and records this
+	// round's for the next.
+	cache *roundCache
 }
 
 // BidirectionalSearch performs one round of MARIOH's Algorithm 3 on the
@@ -38,28 +81,150 @@ type SearchOptions struct {
 // their constituent edges from g. It returns the number of hyperedge
 // occurrences accepted this round.
 //
-// Phase 1 walks the above-threshold maximal cliques in descending score
-// order, re-checking before each acceptance that all clique edges still
-// exist (earlier acceptances may have consumed them). Phase 2 samples, for
-// every clique among the lowest-r% below-threshold ones, one random
-// k-sub-clique per size k ∈ [2, |Q|−1], keeps those scoring above θ, and
-// accepts them the same way.
-func BidirectionalSearch(g *graph.Graph, m *Model, opts SearchOptions, rec *hypergraph.Hypergraph, rng *rand.Rand) int {
+// The round is processed per connected component of g, in ascending order
+// of component key (the smallest original node id in the component).
+// Within a component, Phase 1 walks the above-threshold maximal cliques in
+// descending score order, re-checking before each acceptance that all
+// clique edges still exist. Phase 2 samples, for every clique among the
+// component's lowest-r% below-threshold ones, one random k-sub-clique per
+// size k ∈ [2, |Q|−1] from a component-keyed stream, keeps those scoring
+// above θ, and accepts them the same way. Components never share edges, so
+// this per-component order produces exactly the same acceptances as any
+// interleaving — which is what makes the round equal to the union of the
+// same round run on each component (or shard) separately.
+func BidirectionalSearch(g *graph.Graph, m *Model, opts SearchOptions, rec *hypergraph.Hypergraph) int {
 	ctx := opts.Ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
+
 	limit := opts.MaxCliqueLimit
 	if limit <= 0 {
 		limit = -1
 	}
-	cliques := g.MaximalCliquesLimit(2, limit)
-	if len(cliques) == 0 || ctx.Err() != nil {
+	key := componentKeys(g, opts.OrigID)
+
+	// Partition the live components into cached ones (unchanged since
+	// their last enumeration) and dirty ones that need a fresh pass.
+	live := map[int]bool{}
+	var dirtyNodes []int
+	for v, k := range key {
+		if k < 0 {
+			continue
+		}
+		live[k] = true
+		if opts.cache != nil {
+			if _, ok := opts.cache.comps[k]; ok {
+				continue
+			}
+		}
+		dirtyNodes = append(dirtyNodes, v)
+	}
+
+	// Group this round's cliques by the component they live in. Cliques
+	// never span components, so the first node's key labels the clique.
+	groups := map[int][]scoredClique{}
+	if opts.cache != nil {
+		for k, sc := range opts.cache.comps {
+			if live[k] {
+				groups[k] = sc
+			}
+		}
+	}
+	truncated := false
+	if len(dirtyNodes) > 0 {
+		var scored []scoredClique
+		if opts.cache == nil || len(opts.cache.comps) == 0 {
+			// Cache-free (the serial pipeline) or fully cold: enumerate
+			// the graph directly.
+			cliques := g.MaximalCliquesLimit(2, limit)
+			if ctx.Err() != nil {
+				return 0
+			}
+			truncated = limit > 0 && len(cliques) >= limit
+			scored = scoreCliques(g, m, cliques)
+		} else {
+			// Re-enumerate and re-score only the changed components,
+			// through the induced subgraph — exact because dirtyNodes is
+			// a union of whole components, the relabeling is
+			// order-preserving, and every feature is component-local.
+			sub, back := g.Subgraph(dirtyNodes)
+			cliques := sub.MaximalCliquesLimit(2, limit)
+			if ctx.Err() != nil {
+				return 0
+			}
+			truncated = limit > 0 && len(cliques) >= limit
+			scored = scoreCliques(sub, m, cliques)
+			for i := range scored {
+				q := scored[i].nodes
+				mapped := make([]int, len(q))
+				for j, u := range q {
+					mapped[j] = back[u]
+				}
+				scored[i].nodes = mapped
+			}
+		}
+		for _, sc := range scored {
+			k := key[sc.nodes[0]]
+			groups[k] = append(groups[k], sc)
+		}
+	}
+	if len(groups) == 0 && !opts.StallDump {
 		return 0
 	}
-	scored := scoreCliques(g, m, cliques)
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+
+	accepted := 0
+	acceptedBy := make(map[int]int, len(groups))
+	for _, k := range keys {
+		if ctx.Err() != nil {
+			break
+		}
+		a := searchComponent(g, m, opts, rec, k, groups[k])
+		acceptedBy[k] = a
+		accepted += a
+	}
+
+	if opts.StallDump && ctx.Err() == nil {
+		accepted += dumpStalledComponents(g, rec, key, acceptedBy)
+	}
+
+	if opts.cache != nil {
+		if opts.cache.comps == nil {
+			opts.cache.comps = map[int][]scoredClique{}
+		}
+		for k := range opts.cache.comps {
+			if !live[k] {
+				delete(opts.cache.comps, k)
+			}
+		}
+		for k, sc := range groups {
+			// A component that accepted (or dumped) nothing is unchanged:
+			// its enumeration and scores stay valid verbatim. Truncated
+			// enumerations are never cached — the clique budget must be
+			// re-applied from scratch each round.
+			if acceptedBy[k] == 0 && !truncated {
+				opts.cache.comps[k] = sc
+			} else {
+				delete(opts.cache.comps, k)
+			}
+		}
+	}
+	return accepted
+}
+
+// searchComponent runs both phases of a round on one component's cliques.
+func searchComponent(g *graph.Graph, m *Model, opts SearchOptions, rec *hypergraph.Hypergraph, compKey int, cliques []scoredClique) int {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var pos, rest []scoredClique
-	for _, sc := range scored {
+	for _, sc := range cliques {
 		if sc.score > opts.Theta {
 			pos = append(pos, sc)
 		} else {
@@ -85,12 +250,17 @@ func BidirectionalSearch(g *graph.Graph, m *Model, opts SearchOptions, rec *hype
 		return accepted
 	}
 
-	// Phase 2: least promising cliques — the lowest r% by score.
+	// Phase 2: least promising cliques — the component's lowest r% by
+	// score — with a sampling stream owned by (seed, round, component).
 	sortByScoreAsc(rest)
 	nNeg := int(float64(len(rest)) * opts.R / 100)
 	if nNeg > len(rest) {
 		nNeg = len(rest)
 	}
+	if nNeg == 0 {
+		return accepted
+	}
+	rng := newSampleRNG(sampleSeed(opts.Seed, opts.Round, compKey))
 	var subs []scoredClique
 	var ps PermSampler
 	var scorerBuf scorer
@@ -115,6 +285,121 @@ func BidirectionalSearch(g *graph.Graph, m *Model, opts SearchOptions, rec *hype
 		}
 	}
 	return accepted
+}
+
+// dumpStalledComponents consumes the remaining edges of every component
+// that was processed this round yet accepted nothing, emitting them as
+// size-2 hyperedges so the outer loop always terminates once θ has
+// bottomed out (or is frozen by α = 0) even when the classifier never
+// scores a clique above the threshold. The rule is evaluated per
+// component — never globally — so a stalled component is dumped at the
+// same round whether it is reconstructed in the full graph or inside a
+// shard. Components absent from acceptedBy were never enumerated (their
+// cliques fell beyond a MaxCliqueLimit budget); they have not stalled —
+// they are still waiting their turn — and are left intact.
+func dumpStalledComponents(g *graph.Graph, rec *hypergraph.Hypergraph, key []int, acceptedBy map[int]int) int {
+	var doomed []graph.Edge
+	for _, e := range g.Edges() {
+		if a, processed := acceptedBy[key[e.U]]; processed && a == 0 {
+			doomed = append(doomed, e)
+		}
+	}
+	dumped := 0
+	for _, e := range doomed {
+		rec.AddMult([]int{e.U, e.V}, e.W)
+		g.RemoveEdge(e.U, e.V)
+		// Count the dump as that component's acceptances so the caller
+		// both reports it and invalidates the component's cache entry.
+		acceptedBy[key[e.U]] += e.W
+		dumped += e.W
+	}
+	return dumped
+}
+
+// componentKeys labels every node of g with its component key — the
+// smallest original node id in its connected component — or -1 for
+// isolated nodes. Nodes are visited in ascending local id and origID is
+// order-preserving, so the first node seen of each component carries its
+// key.
+func componentKeys(g *graph.Graph, origID []int) []int {
+	n := g.NumNodes()
+	key := make([]int, n)
+	for i := range key {
+		key[i] = -1
+	}
+	stack := make([]int, 0, 64)
+	for s := 0; s < n; s++ {
+		if key[s] >= 0 || g.Degree(s) == 0 {
+			continue
+		}
+		k := s
+		if origID != nil {
+			k = origID[s]
+		}
+		key[s] = k
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			g.NeighborWeights(u, func(v, _ int) {
+				if key[v] < 0 {
+					key[v] = k
+					stack = append(stack, v)
+				}
+			})
+		}
+	}
+	return key
+}
+
+// sampleSeed derives the Phase-2 sampling stream of one component in one
+// round. Keying by (run seed, round, component) — instead of consuming one
+// global stream in clique order — makes sub-clique sampling independent of
+// how components are interleaved or partitioned across shards.
+func sampleSeed(seed int64, round, compKey int) int64 {
+	h := splitmix64(uint64(seed))
+	h = splitmix64(h ^ uint64(round))
+	h = splitmix64(h ^ uint64(compKey))
+	return int64(h)
+}
+
+// splitmix64 is the SplitMix64 finalizer, a cheap high-quality mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// sampleRNG is the SplitMix64 generator behind Phase-2 sampling. One
+// component consumes one stream per round, so seeding must be cheap: this
+// is a single word write, where math/rand's lagged-Fibonacci source warms
+// up 607 words per seed — which dominated round costs on graphs with many
+// small components.
+type sampleRNG struct{ s uint64 }
+
+func newSampleRNG(seed int64) *sampleRNG { return &sampleRNG{s: uint64(seed)} }
+
+// Intn returns a uniform int in [0, n), rejection-sampled for exact
+// uniformity. It panics if n is not positive, matching math/rand.
+func (r *sampleRNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sampleRNG: Intn with non-positive n")
+	}
+	un := uint64(n)
+	// Values ≥ limit would bias the modulus; redraw on them. For the
+	// small n used here (clique sizes) the loop essentially never spins.
+	limit := ^uint64(0) - ^uint64(0)%un
+	for {
+		r.s += 0x9e3779b97f4a7c15
+		v := r.s
+		v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+		v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+		v ^= v >> 31
+		if v < limit {
+			return int(v % un)
+		}
+	}
 }
 
 // allEdgesPresent reports whether every pair of nodes in q is still an edge

@@ -495,18 +495,24 @@ func (g *Graph) CountTriangles() int {
 
 // Subgraph returns the induced subgraph on the given nodes, relabeled
 // 0..len(nodes)-1 in the order given, together with the mapping back to the
-// original node ids.
+// original node ids. The dense index array makes extraction O(n + deg(S)),
+// cheap enough for the reconstruction engine to carve out its dirty
+// components every round.
 func (g *Graph) Subgraph(nodes []int) (*Graph, []int) {
-	idx := make(map[int]int, len(nodes))
+	idx := make([]int32, len(g.nbrs))
+	for i := range idx {
+		idx[i] = -1
+	}
 	for i, u := range nodes {
-		idx[u] = i
+		g.check(u)
+		idx[u] = int32(i)
 	}
 	sub := New(len(nodes))
 	for i, u := range nodes {
 		ws := g.wts[u]
 		for k, v := range g.nbrs[u] {
-			if j, ok := idx[int(v)]; ok && i < j {
-				sub.AddWeight(i, j, int(ws[k]))
+			if j := idx[v]; j >= 0 && int32(i) < j {
+				sub.AddWeight(i, int(j), int(ws[k]))
 			}
 		}
 	}

@@ -8,6 +8,7 @@
 package server
 
 import (
+	"fmt"
 	"strings"
 
 	"marioh"
@@ -32,6 +33,12 @@ type OptionSpec struct {
 	Supervision float64  `json:"supervision,omitempty"`
 	NegRatio    float64  `json:"negative_ratio,omitempty"`
 	Parallelism int      `json:"parallelism,omitempty"`
+	// Shards routes reconstruction through the shard-parallel engine
+	// (0 = serial; output is byte-identical either way). The server fans
+	// the shards onto its job queue's worker pool. ShardTarget is the
+	// shard size target in edges (0 = auto).
+	Shards      int `json:"shards,omitempty"`
+	ShardTarget int `json:"shard_target,omitempty"`
 }
 
 // Options resolves the spec into functional options for marioh.New. The
@@ -41,6 +48,12 @@ type OptionSpec struct {
 func (s OptionSpec) Options() ([]marioh.Option, error) {
 	if _, _, err := service.Resolve(s.Variant, s.Featurizer); err != nil {
 		return nil, err
+	}
+	if s.Shards < 0 || s.ShardTarget < 0 {
+		return nil, fmt.Errorf("options: shards %d / shard_target %d must be ≥ 0", s.Shards, s.ShardTarget)
+	}
+	if s.Shards == 0 && s.ShardTarget > 0 {
+		return nil, fmt.Errorf("options: shard_target requires shards (sharding is off at shards 0)")
 	}
 	opts := []marioh.Option{marioh.WithSeed(s.Seed)}
 	if s.Variant != "" {
@@ -124,6 +137,8 @@ type ReconstructResult struct {
 	FilteredSize2 int     `json:"filtered_size2"`
 	FilterSeconds float64 `json:"filter_seconds"`
 	SearchSeconds float64 `json:"search_seconds"`
+	// Shards is the shard count of a shard-parallel run; 0 = serial.
+	Shards int `json:"shards,omitempty"`
 }
 
 // BatchResult is a batch job's result payload, positionally aligned with
@@ -142,6 +157,7 @@ type ReconstructResponse struct {
 // ProgressEvent is the SSE wire form of a marioh.Progress snapshot.
 type ProgressEvent struct {
 	Target         int     `json:"target"`
+	Shard          int     `json:"shard"`
 	Round          int     `json:"round"`
 	Theta          float64 `json:"theta"`
 	EdgesRemaining int     `json:"edges_remaining"`
@@ -152,6 +168,7 @@ type ProgressEvent struct {
 func progressEvent(p marioh.Progress) ProgressEvent {
 	return ProgressEvent{
 		Target:         p.Target,
+		Shard:          p.Shard,
 		Round:          p.Round,
 		Theta:          p.Theta,
 		EdgesRemaining: p.EdgesRemaining,

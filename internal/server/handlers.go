@@ -77,7 +77,23 @@ func reconstructResult(res *marioh.Result) (ReconstructResult, error) {
 		FilteredSize2: res.FilteredSize2,
 		FilterSeconds: res.Times.Filtering.Seconds(),
 		SearchSeconds: res.Times.Bidirectional.Seconds(),
+		Shards:        res.Shards,
 	}, nil
+}
+
+// shardingOptions turns a request's shard fields into the WithSharding
+// option, fanning the per-shard tasks onto the job queue so one request
+// saturates the whole worker pool (idle workers steal shards; the job's
+// own goroutine runs shards whenever no worker is free).
+func (s *Server) shardingOptions(spec OptionSpec) []marioh.Option {
+	if spec.Shards == 0 {
+		return nil
+	}
+	return []marioh.Option{marioh.WithSharding(marioh.ShardingOptions{
+		Shards:      spec.Shards,
+		TargetEdges: spec.ShardTarget,
+		Executor:    s.queue.RunTasks,
+	})}
 }
 
 // handleTrain implements POST /v1/train: always asynchronous, answering
@@ -160,6 +176,9 @@ func (s *Server) reconstructRun(opts []marioh.Option, m *marioh.Model, g *marioh
 		}
 		s.metrics.Stage("filter", res.Times.Filtering)
 		s.metrics.Stage("search", res.Times.Bidirectional)
+		if res.Shards > 0 {
+			s.metrics.ShardRun(res.Shards)
+		}
 		return reconstructResult(res)
 	}
 }
@@ -183,6 +202,7 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errStatus(err), err)
 		return
 	}
+	opts = append(opts, s.shardingOptions(req.Options)...)
 
 	async := g.NumEdges() > s.cfg.SyncEdgeLimit
 	if req.Async != nil {
@@ -278,6 +298,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	opts = append(opts, s.shardingOptions(req.Options)...)
 
 	job, err := s.submit(JobBatch, func(ctx context.Context, job *Job) (any, error) {
 		ropts := append(append([]marioh.Option(nil), opts...),
@@ -294,6 +315,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for i, res := range results {
 			s.metrics.Stage("filter", res.Times.Filtering)
 			s.metrics.Stage("search", res.Times.Bidirectional)
+			if res.Shards > 0 {
+				s.metrics.ShardRun(res.Shards)
+			}
 			rr, err := reconstructResult(res)
 			if err != nil {
 				return nil, err

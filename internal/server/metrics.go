@@ -20,6 +20,9 @@ type Metrics struct {
 	inflight int64
 	jobs     map[string]int64 // submitted/succeeded/failed/cancelled
 	stages   map[string]*stageStat
+
+	shardedRuns     int64 // reconstructions that went through the shard engine
+	shardsProcessed int64 // total shards reconstructed across those runs
 }
 
 // stageStat accumulates wall-clock spent in one pipeline stage.
@@ -60,6 +63,14 @@ func (m *Metrics) Job(event string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.jobs[event]++
+}
+
+// ShardRun records one shard-parallel reconstruction of n shards.
+func (m *Metrics) ShardRun(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shardedRuns++
+	m.shardsProcessed += int64(n)
 }
 
 // Stage records time spent in a named pipeline stage (train_sample,
@@ -114,6 +125,11 @@ func (m *Metrics) Render(w io.Writer, queueDepth int, jobCounts map[JobStatus]in
 	for _, ev := range sortedKeys(m.jobs) {
 		fmt.Fprintf(w, "marioh_job_events_total{event=%q} %d\n", ev, m.jobs[ev])
 	}
+
+	fmt.Fprintf(w, "# TYPE marioh_sharded_runs_total counter\n")
+	fmt.Fprintf(w, "marioh_sharded_runs_total %d\n", m.shardedRuns)
+	fmt.Fprintf(w, "# TYPE marioh_shards_processed_total counter\n")
+	fmt.Fprintf(w, "marioh_shards_processed_total %d\n", m.shardsProcessed)
 
 	fmt.Fprintf(w, "# TYPE marioh_stage_seconds_total counter\n")
 	for _, name := range sortedStageKeys(m.stages) {

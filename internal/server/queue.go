@@ -228,7 +228,8 @@ func (j *Job) execute(ctx context.Context) {
 // Drain performs graceful shutdown — stop accepting, finish everything
 // already accepted, then return.
 type Queue struct {
-	jobs chan *Job
+	jobs  chan *Job
+	tasks chan queueTask
 
 	mu         sync.Mutex
 	byID       map[string]*Job
@@ -262,6 +263,7 @@ func NewQueue(root context.Context, workers, depth, history int) *Queue {
 	rootCtx, rootCancel := context.WithCancel(root)
 	q := &Queue{
 		jobs:       make(chan *Job, depth),
+		tasks:      make(chan queueTask),
 		byID:       map[string]*Job{},
 		history:    history,
 		cancels:    map[string]context.CancelFunc{},
@@ -277,17 +279,56 @@ func NewQueue(root context.Context, workers, depth, history int) *Queue {
 
 func (q *Queue) work() {
 	defer q.wg.Done()
-	for job := range q.jobs {
-		ctx, cancel := context.WithCancel(q.root)
-		q.mu.Lock()
-		q.cancels[job.ID] = cancel
-		q.mu.Unlock()
-		job.execute(ctx)
-		cancel()
-		q.mu.Lock()
-		delete(q.cancels, job.ID)
-		q.mu.Unlock()
+	for {
+		// Workers service two lanes: whole jobs, and the sub-job shard
+		// tasks running jobs fan out through RunTasks. An idle worker
+		// steals whichever arrives first.
+		select {
+		case job, ok := <-q.jobs:
+			if !ok {
+				return
+			}
+			ctx, cancel := context.WithCancel(q.root)
+			q.mu.Lock()
+			q.cancels[job.ID] = cancel
+			q.mu.Unlock()
+			job.execute(ctx)
+			cancel()
+			q.mu.Lock()
+			delete(q.cancels, job.ID)
+			q.mu.Unlock()
+		case t := <-q.tasks:
+			t.fn()
+			t.done()
+		}
 	}
+}
+
+// queueTask is one stolen unit of intra-job work (e.g. one shard of a
+// sharded reconstruction).
+type queueTask struct {
+	fn   func()
+	done func()
+}
+
+// RunTasks executes every fn, letting idle queue workers steal tasks so
+// one job can saturate the whole pool. The calling goroutine always makes
+// progress by running tasks itself whenever no worker is free to take one,
+// so fan-out can never deadlock the pool — even with a single worker, and
+// even while the queue is draining.
+func (q *Queue) RunTasks(fns []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		t := queueTask{fn: fn, done: wg.Done}
+		select {
+		case q.tasks <- t:
+		default:
+			t.fn()
+			t.done()
+		}
+	}
+	wg.Wait()
 }
 
 // NewJob registers a job without queueing it, for workloads executed

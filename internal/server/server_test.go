@@ -557,3 +557,63 @@ func TestServerPersistentRegistry(t *testing.T) {
 		t.Fatal("model bytes changed across restart")
 	}
 }
+
+// TestServerShardedReconstructMatchesSerial: a reconstruct request with
+// shards set must fan out through the queue's task lane and still return
+// exactly the serial pipeline's bytes, with shard metadata in the result
+// and shard counters in /metrics.
+func TestServerShardedReconstructMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	src, tgt := testSource(t), testTarget(t)
+	_, c := newTestServer(t, nil)
+	trainOn(t, c, src, "m", OptionSpec{Seed: 2, Epochs: 5})
+
+	serial, _, err := c.Reconstruct(ctx, ReconstructRequest{
+		Model: "m", Target: graphText(t, tgt), Options: OptionSpec{Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Result.Shards != 0 {
+		t.Fatalf("serial result reports %d shards", serial.Result.Shards)
+	}
+	for _, shards := range []int{1, 4, 16} {
+		res, _, err := c.Reconstruct(ctx, ReconstructRequest{
+			Model: "m", Target: graphText(t, tgt),
+			Options: OptionSpec{Seed: 2, Shards: shards, ShardTarget: 4},
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Result.Hypergraph != serial.Result.Hypergraph {
+			t.Fatalf("shards=%d: served reconstruction diverges from the serial pipeline", shards)
+		}
+		if res.Result.Shards < 1 {
+			t.Fatalf("shards=%d: result reports %d shards", shards, res.Result.Shards)
+		}
+	}
+
+	resp, err := http.Get(c.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "marioh_sharded_runs_total 3") {
+		t.Fatalf("metrics miss sharded run counter:\n%s", text)
+	}
+	if !strings.Contains(text, "marioh_shards_processed_total") {
+		t.Fatalf("metrics miss shards processed counter:\n%s", text)
+	}
+
+	// Negative shard counts are rejected before a job is queued.
+	if _, _, err := c.Reconstruct(ctx, ReconstructRequest{
+		Model: "m", Target: graphText(t, tgt), Options: OptionSpec{Shards: -1},
+	}); err == nil {
+		t.Fatal("negative shard count must be rejected")
+	}
+}

@@ -1,0 +1,259 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"marioh/internal/graph"
+)
+
+// randomGraph builds a graph of several random near-clique communities
+// joined by a few bridges, the structure the partitioner targets.
+func randomGraph(rng *rand.Rand, communities, size int) *graph.Graph {
+	n := communities * size
+	g := graph.New(n)
+	for c := 0; c < communities; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if rng.Float64() < 0.7 {
+					g.AddWeight(base+i, base+j, 1+rng.Intn(3))
+				}
+			}
+		}
+	}
+	// Chain some communities together with bridges of varying ω.
+	for c := 0; c+1 < communities; c++ {
+		if rng.Float64() < 0.5 {
+			g.AddWeight(c*size, (c+1)*size, 1+rng.Intn(2))
+		}
+	}
+	return g
+}
+
+// planEdges flattens a plan back into original-id edges.
+func planEdges(p *Plan) []graph.Edge {
+	var out []graph.Edge
+	for _, piece := range p.Pieces {
+		for _, e := range piece.Graph.Edges() {
+			out = append(out, graph.Edge{U: piece.Nodes[e.U], V: piece.Nodes[e.V], W: e.W})
+		}
+	}
+	return out
+}
+
+// TestPartitionCoversEveryEdgeExactlyOnce is the core invariant: the union
+// of the shard subgraphs is the input graph, edge for edge, weight for
+// weight, with no duplicates.
+func TestPartitionCoversEveryEdgeExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(6), 3+rng.Intn(6))
+		for _, opts := range []Options{
+			{Shards: 1},
+			{Shards: 4},
+			{Shards: 16},
+			{Shards: 4, TargetEdges: 5},
+			{Shards: 8, TargetEdges: 1},
+		} {
+			plan := Partition(g, opts)
+			seen := map[[2]int]int{}
+			for _, e := range planEdges(plan) {
+				seen[[2]int{e.U, e.V}] += 1
+				if got := e.W; got != g.Weight(e.U, e.V) {
+					t.Fatalf("trial %d %+v: ω(%d,%d) = %d, want %d", trial, opts, e.U, e.V, got, g.Weight(e.U, e.V))
+				}
+			}
+			for pair, count := range seen {
+				if count != 1 {
+					t.Fatalf("trial %d %+v: edge %v assigned %d times", trial, opts, pair, count)
+				}
+			}
+			if len(seen) != g.NumEdges() {
+				t.Fatalf("trial %d %+v: plan covers %d edges, graph has %d", trial, opts, len(seen), g.NumEdges())
+			}
+		}
+	}
+}
+
+// TestPartitionOwnsEveryVertexExactlyOnce: the Owner map is a total
+// function into the piece list, and every owned node appears in its owning
+// piece's node list.
+func TestPartitionOwnsEveryVertexExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(5), 3+rng.Intn(5))
+		plan := Partition(g, Options{Shards: 4, TargetEdges: 6})
+		if len(plan.Owner) != g.NumNodes() {
+			t.Fatalf("Owner covers %d nodes, graph has %d", len(plan.Owner), g.NumNodes())
+		}
+		for u, p := range plan.Owner {
+			if p < 0 || (len(plan.Pieces) > 0 && p >= len(plan.Pieces)) {
+				t.Fatalf("node %d owned by out-of-range piece %d", u, p)
+			}
+			if g.Degree(u) == 0 {
+				continue // isolated nodes are owned by convention only
+			}
+			found := false
+			for _, v := range plan.Pieces[p].Nodes {
+				if v == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("node %d owned by piece %d but absent from its node list", u, p)
+			}
+		}
+	}
+}
+
+// TestPartitionNeverSplitsMaximalClique: every maximal clique of the input
+// graph must be fully contained in exactly one piece — the property that
+// lets each shard score its cliques with no knowledge of the others.
+func TestPartitionNeverSplitsMaximalClique(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(5), 3+rng.Intn(5))
+		plan := Partition(g, Options{Shards: 8, TargetEdges: 4})
+		cliques := g.MaximalCliques(2)
+		for _, q := range cliques {
+			hosts := 0
+			for _, piece := range plan.Pieces {
+				local := map[int]int{}
+				for i, u := range piece.Nodes {
+					local[u] = i
+				}
+				ok := true
+				for i := 0; ok && i < len(q); i++ {
+					if _, in := local[q[i]]; !in {
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				lq := make([]int, len(q))
+				for i, u := range q {
+					lq[i] = local[u]
+				}
+				if piece.Graph.IsClique(lq) {
+					hosts++
+				}
+			}
+			if hosts != 1 {
+				t.Fatalf("trial %d: maximal clique %v lives in %d pieces, want exactly 1", trial, q, hosts)
+			}
+		}
+	}
+}
+
+// TestPartitionSplitsOnlyBridges: when a component is split, every edge
+// missing from the piece that owns a node must be a bridge of the original
+// graph — the partitioner must never cut inside a 2-edge-connected block.
+func TestPartitionSplitsOnlyBridges(t *testing.T) {
+	// Two triangles joined by a ω=1 bridge, forced apart by a tiny target.
+	g := graph.New(6)
+	g.AddWeight(0, 1, 2)
+	g.AddWeight(0, 2, 2)
+	g.AddWeight(1, 2, 2)
+	g.AddWeight(3, 4, 2)
+	g.AddWeight(3, 5, 2)
+	g.AddWeight(4, 5, 2)
+	g.AddWeight(2, 3, 1) // the bridge
+	plan := Partition(g, Options{Shards: 2, TargetEdges: 4})
+	if len(plan.Pieces) != 2 {
+		t.Fatalf("want 2 pieces, got %d", len(plan.Pieces))
+	}
+	// The bridge must be assigned to exactly one piece (its smaller
+	// endpoint's side), and the other side must not carry it.
+	holders := 0
+	for _, piece := range plan.Pieces {
+		local := map[int]int{}
+		for i, u := range piece.Nodes {
+			local[u] = i
+		}
+		l2, ok2 := local[2]
+		l3, ok3 := local[3]
+		if ok2 && ok3 && piece.Graph.HasEdge(l2, l3) {
+			holders++
+		}
+	}
+	if holders != 1 {
+		t.Fatalf("bridge held by %d pieces, want 1", holders)
+	}
+	if plan.Owner[2] == plan.Owner[3] {
+		t.Fatal("bridge endpoints should be owned by different pieces after the split")
+	}
+}
+
+// TestPartitionRespectsTarget: with enough bridges, no piece exceeds the
+// target by more than its largest unsplittable block.
+func TestPartitionRespectsTarget(t *testing.T) {
+	// A path of K triangles connected by bridges: every block has 3 edges.
+	const k = 12
+	g := graph.New(3 * k)
+	for i := 0; i < k; i++ {
+		b := 3 * i
+		g.AddWeight(b, b+1, 1)
+		g.AddWeight(b, b+2, 1)
+		g.AddWeight(b+1, b+2, 1)
+		if i > 0 {
+			g.AddWeight(b-1, b, 1)
+		}
+	}
+	plan := Partition(g, Options{Shards: 4, TargetEdges: 12})
+	for i, piece := range plan.Pieces {
+		if piece.EdgeCount > 12+3 {
+			t.Fatalf("piece %d carries %d edges, exceeding target 12 beyond block slack", i, piece.EdgeCount)
+		}
+	}
+	if len(plan.Pieces) < 2 {
+		t.Fatalf("expected the triangle chain to split, got %d pieces", len(plan.Pieces))
+	}
+}
+
+// TestPartitionDeterministicUnderGOMAXPROCS pins byte-level plan
+// determinism across GOMAXPROCS settings (the partitioner is
+// single-threaded; this guards against anyone parallelizing it with
+// nondeterministic reductions later).
+func TestPartitionDeterministicUnderGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGraph(rng, 6, 6)
+	render := func(p *Plan) string {
+		s := fmt.Sprintf("owner=%v\n", p.Owner)
+		for i, piece := range p.Pieces {
+			s += fmt.Sprintf("piece %d nodes=%v edges=%v\n", i, piece.Nodes, piece.Graph.Edges())
+		}
+		return s
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	a := render(Partition(g, Options{Shards: 4, TargetEdges: 8}))
+	runtime.GOMAXPROCS(8)
+	b := render(Partition(g, Options{Shards: 4, TargetEdges: 8}))
+	if a != b {
+		t.Fatalf("plan differs across GOMAXPROCS:\n%s\nvs\n%s", a, b)
+	}
+	// And across repeated calls in the same setting.
+	if c := render(Partition(g, Options{Shards: 4, TargetEdges: 8})); b != c {
+		t.Fatal("plan not reproducible across calls")
+	}
+}
+
+// TestPartitionDisableSplitKeepsComponentsWhole: with splitting disabled an
+// oversized component stays in one piece.
+func TestPartitionDisableSplitKeepsComponentsWhole(t *testing.T) {
+	g := graph.New(6)
+	g.AddWeight(0, 1, 1)
+	g.AddWeight(1, 2, 1)
+	g.AddWeight(2, 3, 1)
+	g.AddWeight(3, 4, 1)
+	g.AddWeight(4, 5, 1)
+	plan := Partition(g, Options{Shards: 4, TargetEdges: 1, DisableSplit: true})
+	if len(plan.Pieces) != 1 {
+		t.Fatalf("DisableSplit must keep the path whole, got %d pieces", len(plan.Pieces))
+	}
+}

@@ -49,6 +49,7 @@ type config struct {
 	parallelism int
 	progress    ProgressFunc
 	model       *Model
+	sharding    *ShardingOptions
 }
 
 func defaultConfig() config {
@@ -250,6 +251,54 @@ func WithProgress(fn ProgressFunc) Option {
 	}
 }
 
+// ShardingOptions configure the shard-parallel reconstruction engine; see
+// WithSharding.
+type ShardingOptions struct {
+	// Shards is the number of shards the target graph is partitioned
+	// into; 0 uses GOMAXPROCS. The reconstruction is byte-identical for
+	// every shard count, so this is purely a throughput knob.
+	Shards int
+	// TargetEdges is the shard size target: connected components owning
+	// more edges are split along their bridges (the only intra-component
+	// cut that preserves exactness). 0 derives the target from the edge
+	// count and shard count.
+	TargetEdges int
+	// Workers bounds how many shards reconstruct concurrently; 0 uses
+	// GOMAXPROCS. Ignored when Executor is set.
+	Workers int
+	// Executor, when non-nil, runs the per-shard tasks on an external
+	// worker pool (e.g. a server job queue) instead of the built-in one.
+	// It must execute every task exactly once and return only when all
+	// of them finished.
+	Executor func(tasks []func())
+}
+
+// WithSharding routes Reconstruct (and each target of ReconstructBatch)
+// through the shard-parallel engine: the target graph is deterministically
+// partitioned — connected components first, oversized components split
+// along low-multiplicity bridges — and the shards are reconstructed
+// concurrently and merged. The output is byte-identical to the unsharded
+// pipeline for any shard count (asserted by the shard-equivalence tests
+// and CI job); Progress events additionally carry the shard index. The
+// guarantee assumes the built-in featurizers — a custom featurizer that
+// reads graph state beyond a clique's component breaks it — and does not
+// extend to WithMaxCliqueLimit, whose global budget is applied per shard.
+func WithSharding(o ShardingOptions) Option {
+	return func(c *config) error {
+		if o.Shards < 0 {
+			return fmt.Errorf("marioh: shard count %d must be ≥ 0", o.Shards)
+		}
+		if o.TargetEdges < 0 {
+			return fmt.Errorf("marioh: shard target %d must be ≥ 0", o.TargetEdges)
+		}
+		if o.Workers < 0 {
+			return fmt.Errorf("marioh: shard workers %d must be ≥ 0", o.Workers)
+		}
+		c.sharding = &o
+		return nil
+	}
+}
+
 // WithModel attaches a pre-trained model (e.g. one restored via
 // LoadModel), so Reconstruct can be called without Train.
 func WithModel(m *Model) Option {
@@ -362,7 +411,8 @@ func (r *Reconstructor) SetModel(m *Model) error {
 	return nil
 }
 
-// Reconstruct runs MARIOH on one target projected graph. Cancelling ctx
+// Reconstruct runs MARIOH on one target projected graph — through the
+// shard-parallel engine when WithSharding is configured. Cancelling ctx
 // stops the run between rounds and mid-search; the partial result built so
 // far is returned together with ctx.Err().
 func (r *Reconstructor) Reconstruct(ctx context.Context, g *Graph) (*Result, error) {
@@ -370,7 +420,21 @@ func (r *Reconstructor) Reconstruct(ctx context.Context, g *Graph) (*Result, err
 	if m == nil {
 		return nil, ErrNoModel
 	}
-	return core.ReconstructContext(ctx, g, m, r.reconstructOptions(nil))
+	return r.reconstruct(ctx, g, m, r.reconstructOptions(nil))
+}
+
+// reconstruct dispatches one target to the serial pipeline or the shard
+// orchestrator, per the configured sharding options.
+func (r *Reconstructor) reconstruct(ctx context.Context, g *Graph, m *Model, opts core.Options) (*Result, error) {
+	if s := r.cfg.sharding; s != nil {
+		return core.ReconstructSharded(ctx, g, m, opts, core.ShardOptions{
+			Shards:      s.Shards,
+			TargetEdges: s.TargetEdges,
+			Workers:     s.Workers,
+			Executor:    s.Executor,
+		})
+	}
+	return core.ReconstructContext(ctx, g, m, opts)
 }
 
 // ReconstructBatch reconstructs every target graph using a worker pool of
@@ -430,7 +494,7 @@ func (r *Reconstructor) ReconstructBatch(ctx context.Context, targets []*Graph) 
 			defer wg.Done()
 			for i := range jobs {
 				opts := r.reconstructOptions(progressFor(i))
-				res, err := core.ReconstructContext(ctx, targets[i], m, opts)
+				res, err := r.reconstruct(ctx, targets[i], m, opts)
 				results[i] = res
 				if err != nil {
 					errMu.Lock()

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Shard/serial equivalence matrix (run by `make shard-check` and the CI
+# shard-equivalence job): for each bundled dataset, train once, produce a
+# serial golden reconstruction, then reconstruct with -shards 1/4/16 (with
+# a tiny -shard-target so oversized components really get bridge-split)
+# and require every output to be byte-identical to the golden.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp -d)
+work=$(mktemp -d)
+trap 'rm -rf "$bin" "$work"' EXIT
+
+echo "== build"
+go build -o "$bin/mariohctl" ./cmd/mariohctl
+
+for ds in hosts pschool; do
+    echo "== $ds"
+    "$bin/mariohctl" gen -dataset "$ds" -seed 1 -out "$work"
+    "$bin/mariohctl" train -train "$work/$ds.source.hg" -seed 1 -epochs 15 -out "$work/$ds.model.json"
+    "$bin/mariohctl" apply -model "$work/$ds.model.json" -target "$work/$ds.target.graph" \
+        -seed 1 -out "$work/$ds.golden.hg"
+    for n in 1 4 16; do
+        "$bin/mariohctl" apply -model "$work/$ds.model.json" -target "$work/$ds.target.graph" \
+            -seed 1 -shards "$n" -shard-target 8 -out "$work/$ds.shard$n.hg"
+        cmp "$work/$ds.golden.hg" "$work/$ds.shard$n.hg"
+        echo "   -shards $n is byte-identical to the serial golden"
+    done
+done
+echo "shard-check ok"

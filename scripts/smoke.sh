@@ -7,7 +7,9 @@
 #   3. boot mariohd on a random port, poll /healthz
 #   4. push the model and reconstruct the same target through the server;
 #      the output must be byte-identical to the golden run
-#   5. SIGTERM the daemon with a job in flight: it must drain and exit 0
+#   5. reconstruct again with -shards 4 (fanning shards onto the server's
+#      job queue): still byte-identical, and the shard counters move
+#   6. SIGTERM the daemon with a job in flight: it must drain and exit 0
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,6 +63,13 @@ cmp "$work/golden.hg" "$work/server.hg"
 echo "   server output is byte-identical to the CLI golden run"
 
 curl -fsS "$base/metrics" | grep -q 'marioh_requests_total'
+
+echo "== sharded /v1/reconstruct (shards fan onto the queue, byte-identical)"
+"$bin/mariohctl" remote-reconstruct -server "$base" -model smoke \
+    -target "$work/hosts.target.graph" -seed 1 -shards 4 -shard-target 8 -out "$work/server-shard.hg"
+cmp "$work/golden.hg" "$work/server-shard.hg"
+echo "   sharded server output is byte-identical to the serial golden run"
+curl -fsS "$base/metrics" | grep -q 'marioh_sharded_runs_total 1'
 
 echo "== graceful shutdown (SIGTERM drains, exit 0)"
 # Leave an async job racing the shutdown so the drain has work to do; the
