@@ -4,12 +4,12 @@ GO ?= go
 # PRs (compare runs with benchstat; see README "Benchmarks"), plus the
 # shard-engine reconstruction bench (serial vs -shards N on the
 # multi-component graph; see README "Sharding").
-BENCH_SUBSTRATE ?= BenchmarkHasEdge|BenchmarkMaximalCliques|BenchmarkScoreCliques|BenchmarkFeatures|BenchmarkDegeneracyOrdering|BenchmarkCommonNeighborCount|BenchmarkSumMinCommonWeight|BenchmarkMLPForward|BenchmarkParallelScoring|BenchmarkShardedReconstruct
+BENCH_SUBSTRATE ?= BenchmarkHasEdge|BenchmarkMaximalCliques|BenchmarkScoreCliques|BenchmarkFeatures|BenchmarkDegeneracyOrdering|BenchmarkCommonNeighborCount|BenchmarkSumMinCommonWeight|BenchmarkMLPForward|BenchmarkParallelScoring|BenchmarkShardedReconstruct|BenchmarkIncrementalApply
 
 # Flags for the bench-regression gate (CI overrides warn-only on pushes).
 BENCHDIFF_FLAGS ?= -warn-only
 
-.PHONY: all build fmt fmt-fix vet lint test race smoke shard-check bench bench-substrate bench-json bench-json-force bench-regress check
+.PHONY: all build fmt fmt-fix vet lint test race smoke shard-check incr-check bench bench-substrate bench-json bench-json-force bench-regress check
 
 all: check build
 
@@ -47,7 +47,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -run 'Batch|Cancel|Progress|Parallel|Server|Queue|Registry|Shard|RunTasks' ./...
+	$(GO) test -race -run 'Batch|Cancel|Progress|Parallel|Server|Queue|Registry|Shard|RunTasks|Session|Engine' ./...
 
 # End-to-end mariohd smoke test: boot the daemon, round-trip a
 # reconstruction against a golden CLI run, exercise graceful shutdown.
@@ -59,6 +59,15 @@ smoke:
 # golden run (mirrored by the CI shard-equivalence job).
 shard-check:
 	./scripts/shard-check.sh
+
+# Incremental/serial equivalence matrix: replay generated delta streams
+# through a session (batch by batch, verified against from-scratch
+# rebuilds) and require byte-identical output versus the serial and
+# sharded goldens of the mutated graph, plus the >= 5x speedup floor
+# (mirrored by the CI incremental-equivalence job; smoke.sh repeats the
+# session flow against a live mariohd).
+incr-check:
+	./scripts/incr-check.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...

@@ -39,8 +39,8 @@ var (
 // message threads, transactions) and the regime of the paper's datasets,
 // whose hyperedges are small and cluster locally. One dataset target is
 // mixed in so the graph also carries a few large components.
-func shardBenchSetup(b *testing.B) *shardBenchState {
-	b.Helper()
+func shardBenchSetup(tb testing.TB) *shardBenchState {
+	tb.Helper()
 	shardBenchOnce.Do(func() {
 		train, err := marioh.GenerateDataset("crime", 1)
 		if err != nil {
@@ -100,7 +100,7 @@ func shardBenchSetup(b *testing.B) *shardBenchState {
 		shardBench = shardBenchState{model: model, g: g}
 	})
 	if shardBenchErr != nil {
-		b.Fatal(shardBenchErr)
+		tb.Fatal(shardBenchErr)
 	}
 	return &shardBench
 }

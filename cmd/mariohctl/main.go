@@ -60,6 +60,10 @@ func run(ctx context.Context, args []string) int {
 		err = cmdApply(ctx, args[1:])
 	case "eval":
 		err = cmdEval(args[1:])
+	case "session":
+		err = cmdSession(ctx, args[1:])
+	case "mutate":
+		err = cmdMutate(ctx, args[1:])
 	case "demo":
 		err = cmdDemo(ctx, args[1:])
 	case "serve":
@@ -113,6 +117,9 @@ commands:
   apply        reconstruct target graph(s) with a previously saved model
   eval         compare a reconstruction against the ground truth
   demo         end-to-end run on one dataset, printing accuracy
+  session      replay an edge-delta stream through an incremental session
+               (in-process, or on a daemon with -server)
+  mutate       apply an edge-delta stream to a graph file
   help         print this message
 
 serving (see mariohd for the standalone daemon):

@@ -25,6 +25,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	modelsDir := fs.String("models-dir", "", "directory persisting the model registry (empty = in-memory)")
 	modelCache := fs.Int("model-cache", 8, "decoded-model LRU cache size")
 	syncLimit := fs.Int("sync-edge-limit", 20000, "largest target (edges) served synchronously")
+	sessionLimit := fs.Int("session-limit", 16, "open incremental sessions kept (LRU eviction past it)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	if err := parse(fs, args); err != nil {
 		return err
@@ -37,6 +38,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		ModelsDir:       *modelsDir,
 		ModelCache:      *modelCache,
 		SyncEdgeLimit:   *syncLimit,
+		SessionLimit:    *sessionLimit,
 		ShutdownTimeout: *shutdownTimeout,
 	})
 	if err != nil {

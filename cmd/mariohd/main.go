@@ -1,7 +1,8 @@
 // Command mariohd is the MARIOH reconstruction daemon: it serves the full
 // Reconstructor pipeline over HTTP — async train jobs, sync/async
-// reconstruction, batch fan-out, SSE progress streams, a named model
-// registry, and health/metrics endpoints.
+// reconstruction, batch fan-out, incremental sessions over graph deltas,
+// SSE progress streams, a named model registry, and health/metrics
+// endpoints.
 //
 // A server-side reconstruction is byte-identical to the same request made
 // through the library API: the handlers call the exact public
@@ -37,6 +38,7 @@ func main() {
 	modelsDir := flag.String("models-dir", "", "directory persisting the model registry (empty = in-memory)")
 	modelCache := flag.Int("model-cache", 8, "decoded-model LRU cache size")
 	syncLimit := flag.Int("sync-edge-limit", 20000, "largest target (edges) served synchronously by /v1/reconstruct")
+	sessionLimit := flag.Int("session-limit", 16, "open incremental sessions kept (least-recently-used evicted past it)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -55,6 +57,7 @@ func main() {
 		ModelsDir:       *modelsDir,
 		ModelCache:      *modelCache,
 		SyncEdgeLimit:   *syncLimit,
+		SessionLimit:    *sessionLimit,
 		ShutdownTimeout: *shutdownTimeout,
 	})
 	if err != nil {

@@ -81,6 +81,11 @@ type Progress struct {
 	// Round is the 1-based outer-loop round just completed; 0 reports the
 	// filtering step.
 	Round int
+	// Dirty is the number of components an incremental Session.Apply is
+	// recomputing; 0 for non-incremental runs. Every event of one Apply
+	// carries the same count, so observers can report "N of D dirty
+	// components" style progress.
+	Dirty int
 	// Theta is the acceptance threshold θ used this round.
 	Theta float64
 	// EdgesRemaining is the residual graph's edge count after the round.
@@ -114,6 +119,10 @@ type Result struct {
 	// the serial pipeline. For sharded runs, Times aggregates the
 	// per-shard breakdowns (durations are summed, Rounds is the maximum).
 	Shards int
+	// DirtyComponents is the number of components an incremental
+	// Session.Apply actually recomputed (the rest were merged from the
+	// session cache); 0 for non-incremental runs.
+	DirtyComponents int
 }
 
 // Reconstruct runs MARIOH (Algorithm 1) on the projected graph g with the

@@ -30,6 +30,18 @@ type ShardOptions struct {
 	Executor func(tasks []func())
 }
 
+// ReconstructPiece runs the cached round engine on one piece of a larger
+// graph: g is the piece's subgraph and origID maps its node ids back to
+// the original graph (nil when g is the original). The piece carries the
+// shard executor's exact per-component round cache, so rounds in which a
+// component accepted nothing skip re-enumeration and re-scoring. This is
+// the entry point the incremental session engine shares with the shard
+// executor: both reconstruct pieces whose components are keyed by original
+// node ids, so their outputs merge bit-for-bit into the serial pipeline's.
+func ReconstructPiece(ctx context.Context, g *graph.Graph, m *Model, opts Options, origID []int) (*Result, error) {
+	return reconstructGraph(ctx, g, m, opts, origID, &roundCache{})
+}
+
 // ReconstructSharded runs MARIOH on g by partitioning it into shards,
 // reconstructing every shard concurrently, and merging the per-shard
 // hypergraphs. The output is byte-identical to ReconstructContext on the
@@ -98,7 +110,7 @@ func ReconstructSharded(ctx context.Context, g *graph.Graph, m *Model, opts Opti
 		tasks[i] = func() {
 			popts := opts
 			popts.Progress = progressFor(i)
-			results[i], errs[i] = reconstructGraph(runCtx, piece.Graph, m, popts, piece.Nodes, &roundCache{})
+			results[i], errs[i] = ReconstructPiece(runCtx, piece.Graph, m, popts, piece.Nodes)
 			if errs[i] != nil {
 				cancel()
 			}

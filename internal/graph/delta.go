@@ -1,0 +1,339 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DeltaKind discriminates the mutation a DeltaOp performs.
+type DeltaKind uint8
+
+// The delta operations a projected-graph edge stream carries.
+const (
+	// DeltaAdd adds W (> 0) to ω(U, V), inserting the edge if absent.
+	DeltaAdd DeltaKind = iota
+	// DeltaRemove deletes the edge {U, V} regardless of its weight; a
+	// no-op when the pair is not an edge.
+	DeltaRemove
+	// DeltaSet sets ω(U, V) to exactly W (≥ 0; 0 deletes the edge).
+	DeltaSet
+)
+
+// DeltaOp is one mutation of a weighted projected graph: an edge insert or
+// weight increase (DeltaAdd), an edge delete (DeltaRemove), or an absolute
+// weight change (DeltaSet). Batches of DeltaOps are the unit of change the
+// incremental reconstruction engine consumes.
+type DeltaOp struct {
+	Kind DeltaKind
+	U, V int
+	W    int
+}
+
+// String renders the op in the delta text format (see WriteDeltas).
+func (op DeltaOp) String() string {
+	switch op.Kind {
+	case DeltaAdd:
+		return fmt.Sprintf("+ %d %d %d", op.U, op.V, op.W)
+	case DeltaRemove:
+		return fmt.Sprintf("- %d %d", op.U, op.V)
+	default:
+		return fmt.Sprintf("= %d %d %d", op.U, op.V, op.W)
+	}
+}
+
+// WriteDeltas serializes a delta stream in a line-oriented text format,
+// one op per line:
+//
+//	"+ u v w"   add w to ω(u, v) (insert when absent)
+//	"- u v"     delete the edge {u, v}
+//	"= u v w"   set ω(u, v) to exactly w
+func WriteDeltas(w io.Writer, ops []DeltaOp) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range ops {
+		if _, err := fmt.Fprintln(bw, op.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDeltas parses the format produced by WriteDeltas. Blank lines and
+// "%" comments are skipped.
+func ReadDeltas(r io.Reader) ([]DeltaOp, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var ops []DeltaOp
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		op := DeltaOp{}
+		switch fields[0] {
+		case "+":
+			op.Kind = DeltaAdd
+		case "-":
+			op.Kind = DeltaRemove
+		case "=":
+			op.Kind = DeltaSet
+		default:
+			return nil, fmt.Errorf("graph: delta line %d: unknown op %q", lineNo, fields[0])
+		}
+		wantArgs := 3
+		if op.Kind == DeltaRemove {
+			wantArgs = 2
+		}
+		if len(fields) != 1+wantArgs {
+			return nil, fmt.Errorf("graph: delta line %d: %q wants %d arguments, got %d",
+				lineNo, fields[0], wantArgs, len(fields)-1)
+		}
+		args := make([]int, wantArgs)
+		for i := range args {
+			n, err := strconv.Atoi(fields[1+i])
+			if err != nil {
+				return nil, fmt.Errorf("graph: delta line %d: bad number %q", lineNo, fields[1+i])
+			}
+			args[i] = n
+		}
+		op.U, op.V = args[0], args[1]
+		if wantArgs == 3 {
+			op.W = args[2]
+		}
+		if op.U == op.V || op.U < 0 || op.V < 0 {
+			return nil, fmt.Errorf("graph: delta line %d: bad edge {%d, %d}", lineNo, op.U, op.V)
+		}
+		switch {
+		case op.Kind == DeltaAdd && op.W <= 0:
+			return nil, fmt.Errorf("graph: delta line %d: add weight %d must be > 0", lineNo, op.W)
+		case op.Kind == DeltaSet && op.W < 0:
+			return nil, fmt.Errorf("graph: delta line %d: set weight %d must be ≥ 0", lineNo, op.W)
+		case op.W > math.MaxInt32:
+			// Multiplicities are stored as int32 (see Graph.AddWeight);
+			// reject out-of-range weights at the wire instead of panicking
+			// deep inside the engine.
+			return nil, fmt.Errorf("graph: delta line %d: weight %d overflows int32", lineNo, op.W)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// Tracker maintains the connected components of a mutating graph
+// incrementally, so a long-lived reconstruction session can tell which
+// components a batch of deltas touched without rescanning the whole graph.
+//
+// Inserts that join two components are handled by weighted-union
+// relabeling (the smaller component's member list folds into the larger
+// one, the deletion-tolerant form of union-find merging); a delete that
+// removes an edge triggers a rescan bounded to the nodes of the affected
+// component — never the whole graph — to detect splits. Weight changes
+// that keep an edge alive are structural no-ops.
+//
+// All mutations must flow through the Tracker (Apply); mutating the
+// underlying graph directly desynchronizes the labels.
+type Tracker struct {
+	g *Graph
+	// label[u] identifies u's component; the identifier is an arbitrary
+	// member node of the component (singletons label themselves).
+	label []int
+	// members[l] lists the nodes labeled l, unsorted. Singleton (edgeless)
+	// components are tracked too, so label growth stays uniform.
+	members map[int][]int
+	// touched accumulates the endpoints of every op since the last
+	// ResetTouched, the dirty seed the incremental engine works from.
+	touched map[int]bool
+}
+
+// NewTracker builds a Tracker over g from a full component scan. The
+// Tracker takes ownership of g's structure: apply all further mutations
+// through Apply.
+func NewTracker(g *Graph) *Tracker {
+	t := &Tracker{
+		g:       g,
+		label:   make([]int, g.NumNodes()),
+		members: make(map[int][]int, g.NumNodes()/2+1),
+		touched: map[int]bool{},
+	}
+	for _, comp := range g.ConnectedComponents() {
+		l := comp[0]
+		for _, u := range comp {
+			t.label[u] = l
+		}
+		t.members[l] = append([]int(nil), comp...)
+	}
+	return t
+}
+
+// Graph returns the tracked graph. Callers must not mutate it directly.
+func (t *Tracker) Graph() *Graph { return t.g }
+
+// EnsureNodes grows the tracked graph (and the label space) to n nodes;
+// new nodes start as singleton components.
+func (t *Tracker) EnsureNodes(n int) {
+	if n <= len(t.label) {
+		return
+	}
+	t.g.EnsureNodes(n)
+	for len(t.label) < n {
+		u := len(t.label)
+		t.label = append(t.label, u)
+		t.members[u] = []int{u}
+	}
+}
+
+// Apply performs one delta op on the tracked graph, updating the component
+// labels and the touched set. Node ids beyond the current node set grow it.
+func (t *Tracker) Apply(op DeltaOp) {
+	if op.U == op.V {
+		panic("graph: delta self-loop")
+	}
+	top := op.U
+	if op.V > top {
+		top = op.V
+	}
+	t.EnsureNodes(top + 1)
+
+	u, v := op.U, op.V
+	// Mark before mutating: if a graph primitive panics mid-op (weight
+	// overflow), the endpoints still read as touched, so consumers that
+	// survive the panic re-derive this component's state instead of
+	// trusting caches.
+	t.touched[u] = true
+	t.touched[v] = true
+	before := t.g.Weight(u, v)
+	switch op.Kind {
+	case DeltaAdd:
+		t.g.AddWeight(u, v, op.W)
+	case DeltaRemove:
+		t.g.RemoveEdge(u, v)
+	case DeltaSet:
+		t.g.SetWeight(u, v, op.W)
+	}
+	after := t.g.Weight(u, v)
+
+	switch {
+	case before == 0 && after > 0:
+		t.union(u, v)
+	case before > 0 && after == 0:
+		t.rescan(u, v)
+	}
+}
+
+// union merges the components of u and v (no-op when already joined) by
+// relabeling the smaller member list into the larger.
+func (t *Tracker) union(u, v int) {
+	lu, lv := t.label[u], t.label[v]
+	if lu == lv {
+		return
+	}
+	if len(t.members[lu]) < len(t.members[lv]) {
+		lu, lv = lv, lu
+	}
+	for _, x := range t.members[lv] {
+		t.label[x] = lu
+	}
+	t.members[lu] = append(t.members[lu], t.members[lv]...)
+	delete(t.members, lv)
+}
+
+// rescan handles the deletion of edge {u, v}: a traversal from u bounded
+// to the old component's nodes decides whether the component split, and
+// relabels the severed side if it did.
+func (t *Tracker) rescan(u, v int) {
+	old := t.label[u]
+	reached := t.reachable(u)
+	if reached[v] {
+		return // still connected through another path
+	}
+	// Split: nodes of the old component not reached from u move to a new
+	// component rooted at v's side. Both sides get fresh labels so stale
+	// roots never linger.
+	var sideU, sideV []int
+	for _, x := range t.members[old] {
+		if reached[x] {
+			sideU = append(sideU, x)
+		} else {
+			sideV = append(sideV, x)
+		}
+	}
+	delete(t.members, old)
+	for _, x := range sideU {
+		t.label[x] = u
+	}
+	t.members[u] = sideU
+	for _, x := range sideV {
+		t.label[x] = v
+	}
+	t.members[v] = sideV
+}
+
+// reachable collects the nodes reachable from s in the current graph. The
+// traversal is bounded by s's component, not the graph.
+func (t *Tracker) reachable(s int) map[int]bool {
+	seen := map[int]bool{s: true}
+	stack := []int{s}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t.g.NeighborWeights(x, func(y, _ int) {
+			if !seen[y] {
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		})
+	}
+	return seen
+}
+
+// Component returns the sorted nodes of the component containing u.
+func (t *Tracker) Component(u int) []int {
+	if u < 0 || u >= len(t.label) {
+		panic(fmt.Sprintf("graph: tracker node %d out of range [0,%d)", u, len(t.label)))
+	}
+	out := append([]int(nil), t.members[t.label[u]]...)
+	sort.Ints(out)
+	return out
+}
+
+// Components returns the node sets of all components with at least one
+// edge, each sorted ascending, ordered by their smallest node — matching
+// Graph.ConnectedComponents with singletons dropped.
+func (t *Tracker) Components() [][]int {
+	var out [][]int
+	for _, m := range t.members {
+		if len(m) > 1 {
+			comp := append([]int(nil), m...)
+			sort.Ints(comp)
+			out = append(out, comp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Touched returns the sorted nodes mutated since the last ResetTouched.
+func (t *Tracker) Touched() []int {
+	out := make([]int, 0, len(t.touched))
+	for u := range t.touched {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TouchedSet reports whether u was mutated since the last ResetTouched.
+func (t *Tracker) TouchedSet(u int) bool { return t.touched[u] }
+
+// ResetTouched clears the touched set, starting a new delta batch.
+func (t *Tracker) ResetTouched() { t.touched = map[int]bool{} }

@@ -1,0 +1,257 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestDeltaRoundTrip pins the delta text format: Write → Read is identity.
+func TestDeltaRoundTrip(t *testing.T) {
+	ops := []DeltaOp{
+		{Kind: DeltaAdd, U: 0, V: 5, W: 3},
+		{Kind: DeltaRemove, U: 5, V: 9},
+		{Kind: DeltaSet, U: 2, V: 3, W: 0},
+		{Kind: DeltaSet, U: 7, V: 1, W: 12},
+	}
+	var buf bytes.Buffer
+	if err := WriteDeltas(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDeltas(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ops) {
+		t.Fatalf("round-trip mismatch:\n got %v\nwant %v", got, ops)
+	}
+}
+
+// TestReadDeltasRejectsMalformed: every malformed line is a parse error.
+func TestReadDeltasRejectsMalformed(t *testing.T) {
+	for _, text := range []string{
+		"? 1 2 3",          // unknown op
+		"+ 1 2",            // add without weight
+		"- 1 2 3",          // remove with weight
+		"+ 1 1 2",          // self-loop
+		"+ 1 2 0",          // non-positive add
+		"= 1 2 -4",         // negative set
+		"+ a 2 3",          // non-numeric
+		"+ -1 2 3",         // negative node
+		"+ 1 2 3 4",        // too many fields
+		"+ 1 2 3000000000", // weight overflows int32
+		"= 1 2 2147483648", // likewise via set
+	} {
+		if _, err := ReadDeltas(bytes.NewBufferString(text)); err == nil {
+			t.Errorf("ReadDeltas(%q) accepted malformed input", text)
+		}
+	}
+	// Comments and blank lines are fine.
+	ops, err := ReadDeltas(bytes.NewBufferString("% header\n\n+ 1 2 3\n"))
+	if err != nil || len(ops) != 1 {
+		t.Fatalf("comment/blank handling broken: ops=%v err=%v", ops, err)
+	}
+}
+
+// components drops singletons from ConnectedComponents, the reference the
+// Tracker must match.
+func nonSingletonComponents(g *Graph) [][]int {
+	var out [][]int
+	for _, c := range g.ConnectedComponents() {
+		if len(c) > 1 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestTrackerDeleteSplitsComponent: deleting a bridge must split the
+// tracked component in two, and re-inserting it must merge them back.
+func TestTrackerDeleteSplitsComponent(t *testing.T) {
+	g := New(6)
+	tr := NewTracker(g)
+	for _, op := range []DeltaOp{
+		{Kind: DeltaAdd, U: 0, V: 1, W: 1},
+		{Kind: DeltaAdd, U: 1, V: 2, W: 1},
+		{Kind: DeltaAdd, U: 3, V: 4, W: 2},
+		{Kind: DeltaAdd, U: 2, V: 3, W: 1}, // bridge joining the two halves
+	} {
+		tr.Apply(op)
+	}
+	if got := tr.Components(); len(got) != 1 || !reflect.DeepEqual(got[0], []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("after joins: components %v", got)
+	}
+	tr.Apply(DeltaOp{Kind: DeltaRemove, U: 2, V: 3})
+	got := tr.Components()
+	want := [][]int{{0, 1, 2}, {3, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after bridge delete: components %v, want %v", got, want)
+	}
+	// A non-bridge delete must not split: add a second path first.
+	tr.Apply(DeltaOp{Kind: DeltaAdd, U: 2, V: 3, W: 1})
+	tr.Apply(DeltaOp{Kind: DeltaAdd, U: 2, V: 4, W: 1})
+	tr.Apply(DeltaOp{Kind: DeltaRemove, U: 2, V: 3})
+	if got := tr.Components(); len(got) != 1 {
+		t.Fatalf("redundant-edge delete split the component: %v", got)
+	}
+	// Severing a leaf leaves a singleton behind, which drops out of
+	// Components but stays individually addressable.
+	tr.Apply(DeltaOp{Kind: DeltaRemove, U: 0, V: 1})
+	if got := tr.Component(0); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("severed leaf component = %v, want [0]", got)
+	}
+}
+
+// TestTrackerBitsetChurn drives a hub across the bitset promotion
+// threshold and back down through the demotion point using delta ops
+// only, checking adjacency reads and component tracking at every stage.
+func TestTrackerBitsetChurn(t *testing.T) {
+	n := 200
+	g := New(n)
+	tr := NewTracker(g)
+	th := bitsetDegThreshold(n)
+
+	// Promote: connect the hub to 0..th neighbors.
+	for v := 1; v <= th; v++ {
+		tr.Apply(DeltaOp{Kind: DeltaAdd, U: 0, V: v, W: 1 + v%3})
+	}
+	if g.bits[0] == nil {
+		t.Fatalf("hub not promoted at degree %d (threshold %d)", g.Degree(0), th)
+	}
+	if got := len(tr.Components()); got != 1 {
+		t.Fatalf("star should be one component, got %d", got)
+	}
+
+	// Demote via deletes: the star decomposes one leaf at a time and the
+	// dense row must drop at the hysteresis point without corrupting reads.
+	for v := th; g.Degree(0) >= th/2; v-- {
+		tr.Apply(DeltaOp{Kind: DeltaRemove, U: 0, V: v})
+		if g.HasEdge(0, v) {
+			t.Fatalf("edge {0,%d} survived removal", v)
+		}
+		if v > 1 && !g.HasEdge(0, v-1) {
+			t.Fatalf("edge {0,%d} lost during churn", v-1)
+		}
+	}
+	if g.bits[0] != nil {
+		t.Fatalf("hub row not demoted at degree %d (drop point %d)", g.Degree(0), th/2)
+	}
+
+	// Re-promote through weight-sets, then verify the component count
+	// equals degree+1 after the churn (hub + remaining leaves).
+	for v := th; g.Degree(0) < th; v-- {
+		tr.Apply(DeltaOp{Kind: DeltaSet, U: 0, V: v, W: 2})
+	}
+	if g.bits[0] == nil {
+		t.Fatalf("hub not re-promoted at degree %d", g.Degree(0))
+	}
+	comp := tr.Component(0)
+	if len(comp) != g.Degree(0)+1 {
+		t.Fatalf("hub component has %d nodes, want %d", len(comp), g.Degree(0)+1)
+	}
+	if !reflect.DeepEqual(tr.Components(), nonSingletonComponents(g)) {
+		t.Fatal("tracker components diverged from full rescan after churn")
+	}
+}
+
+// TestTrackerMatchesRescanUnderRandomDeltas is the engine-vs-naive
+// property test extended to randomized delta sequences: a random op
+// stream (inserts, deletes, weight sets, node growth) is replayed through
+// a Tracker and a map-backed reference graph; after every batch the
+// tracker's components must equal a from-scratch component scan and the
+// adjacency reads must match the reference.
+func TestTrackerMatchesRescanUnderRandomDeltas(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 60
+	g := New(n)
+	tr := NewTracker(g)
+	ref := newRef(n)
+
+	randomOp := func() DeltaOp {
+		u, v := rng.Intn(n), rng.Intn(n)
+		for u == v {
+			v = rng.Intn(n)
+		}
+		switch rng.Intn(6) {
+		case 0: // delete (may be a structural no-op on a non-edge)
+			return DeltaOp{Kind: DeltaRemove, U: u, V: v}
+		case 1: // absolute set, sometimes to zero
+			return DeltaOp{Kind: DeltaSet, U: u, V: v, W: rng.Intn(4)}
+		default:
+			return DeltaOp{Kind: DeltaAdd, U: u, V: v, W: 1 + rng.Intn(3)}
+		}
+	}
+
+	for batch := 0; batch < 60; batch++ {
+		if batch == 30 {
+			// Grow mid-stream: deltas may reference unseen nodes.
+			n = 90
+			tr.EnsureNodes(n)
+			ref.ensure(n)
+		}
+		for i := 0; i < 25; i++ {
+			op := randomOp()
+			tr.Apply(op)
+			w := ref.weight(op.U, op.V)
+			switch op.Kind {
+			case DeltaAdd:
+				ref.addWeight(op.U, op.V, op.W)
+			case DeltaRemove:
+				if w > 0 {
+					ref.addWeight(op.U, op.V, -w)
+				}
+			case DeltaSet:
+				if d := op.W - w; d != 0 {
+					ref.addWeight(op.U, op.V, d)
+				}
+			}
+		}
+		// Components: incremental tracking vs from-scratch scan.
+		if got, want := tr.Components(), nonSingletonComponents(g); !reflect.DeepEqual(got, want) {
+			t.Fatalf("batch %d: tracker components %v, want %v", batch, got, want)
+		}
+		// Adjacency: engine vs map reference on every pair.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if got, want := g.Weight(u, v), ref.weight(u, v); got != want {
+					t.Fatalf("batch %d: Weight(%d,%d) = %d, want %d", batch, u, v, got, want)
+				}
+			}
+		}
+		// Touched covers every endpoint referenced this batch... reset for
+		// the next batch after spot-checking monotonicity.
+		for _, u := range tr.Touched() {
+			if u < 0 || u >= g.NumNodes() {
+				t.Fatalf("batch %d: touched node %d out of range", batch, u)
+			}
+		}
+		tr.ResetTouched()
+		if len(tr.Touched()) != 0 {
+			t.Fatal("ResetTouched left residue")
+		}
+	}
+}
+
+// TestTrackerTouched: the touched set is exactly the endpoints of the ops
+// applied since the last reset.
+func TestTrackerTouched(t *testing.T) {
+	g := New(10)
+	tr := NewTracker(g)
+	if tr.Graph() != g {
+		t.Fatal("Graph accessor lost the tracked graph")
+	}
+	tr.Apply(DeltaOp{Kind: DeltaAdd, U: 1, V: 2, W: 1})
+	tr.Apply(DeltaOp{Kind: DeltaRemove, U: 7, V: 8})
+	if got := tr.Touched(); !reflect.DeepEqual(got, []int{1, 2, 7, 8}) {
+		t.Fatalf("touched %v, want [1 2 7 8]", got)
+	}
+	if !tr.TouchedSet(7) || tr.TouchedSet(3) {
+		t.Fatal("TouchedSet membership wrong")
+	}
+	tr.ResetTouched()
+	tr.Apply(DeltaOp{Kind: DeltaAdd, U: 0, V: 9, W: 2})
+	if got := tr.Touched(); !reflect.DeepEqual(got, []int{0, 9}) {
+		t.Fatalf("touched after reset %v, want [0 9]", got)
+	}
+}

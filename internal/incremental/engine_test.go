@@ -1,0 +1,372 @@
+package incremental
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"marioh/internal/core"
+	"marioh/internal/datasets"
+	"marioh/internal/graph"
+)
+
+// multiComponentTarget builds a target graph with many components from
+// several dataset analogs, plus a model trained the usual way (the same
+// fixture the shard-equivalence tests use).
+func multiComponentTarget(t *testing.T) (*graph.Graph, *core.Model) {
+	t.Helper()
+	src := datasets.MustByName("crime", 1).Source.Reduced()
+	m := core.Train(src.Project(), src, core.TrainOptions{Seed: 1, Epochs: 15})
+	n := 0
+	var parts []*graph.Graph
+	for _, name := range []string{"crime", "hosts", "pschool"} {
+		parts = append(parts, datasets.MustByName(name, 1).Target.Reduced().Project())
+	}
+	for _, p := range parts {
+		n += p.NumNodes()
+	}
+	g := graph.New(n)
+	off := 0
+	for _, p := range parts {
+		for _, e := range p.Edges() {
+			g.AddWeight(off+e.U, off+e.V, e.W)
+		}
+		off += p.NumNodes()
+	}
+	return g, m
+}
+
+// renderHG serializes a hypergraph in its canonical text form.
+func render(t *testing.T, res *core.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.Hypergraph.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// applyToShadow applies a delta op to a plain graph the way the Tracker
+// does, giving the tests an independent "mutated graph" to rebuild from
+// scratch.
+func applyToShadow(g *graph.Graph, op graph.DeltaOp) {
+	top := op.U
+	if op.V > top {
+		top = op.V
+	}
+	g.EnsureNodes(top + 1)
+	switch op.Kind {
+	case graph.DeltaAdd:
+		g.AddWeight(op.U, op.V, op.W)
+	case graph.DeltaRemove:
+		g.RemoveEdge(op.U, op.V)
+	case graph.DeltaSet:
+		g.SetWeight(op.U, op.V, op.W)
+	}
+}
+
+// randomBatch derives a reproducible delta batch against the current
+// state of g: weight bumps and deletes on existing edges plus a few new
+// inserts, confined to node ids below bound so components outside that
+// range stay untouched.
+func randomBatch(rng *rand.Rand, g *graph.Graph, size, bound int) []graph.DeltaOp {
+	var edges []graph.Edge
+	for _, e := range g.Edges() {
+		if e.V < bound {
+			edges = append(edges, e)
+		}
+	}
+	var ops []graph.DeltaOp
+	for i := 0; i < size; i++ {
+		switch {
+		case len(edges) > 0 && rng.Intn(3) != 0:
+			e := edges[rng.Intn(len(edges))]
+			if rng.Intn(2) == 0 {
+				ops = append(ops, graph.DeltaOp{Kind: graph.DeltaAdd, U: e.U, V: e.V, W: 1})
+			} else {
+				ops = append(ops, graph.DeltaOp{Kind: graph.DeltaRemove, U: e.U, V: e.V})
+			}
+		default:
+			u, v := rng.Intn(bound), rng.Intn(bound)
+			if u == v {
+				continue
+			}
+			ops = append(ops, graph.DeltaOp{Kind: graph.DeltaSet, U: u, V: v, W: 1 + rng.Intn(3)})
+		}
+	}
+	return ops
+}
+
+// TestEngineMatchesFullRebuildUnderDeltas is the core acceptance
+// property: after every delta batch, the engine's merged output must be
+// byte-identical to a from-scratch reconstruction of the mutated graph —
+// serial and sharded.
+func TestEngineMatchesFullRebuildUnderDeltas(t *testing.T) {
+	g, m := multiComponentTarget(t)
+	opts := core.Options{Seed: 3}
+	shadow := g.Clone()
+	eng := New(g, m, opts, 0)
+	rng := rand.New(rand.NewSource(42))
+
+	batches := [][]graph.DeltaOp{nil} // first Apply: full build
+	for i := 0; i < 4; i++ {
+		batches = append(batches, nil) // placeholder, generated against live state
+	}
+
+	// Deltas stay within the first dataset block's id range, so the other
+	// blocks' components must remain cached across every batch.
+	bound := datasets.MustByName("crime", 1).Target.Reduced().Project().NumNodes()
+	for bi := range batches {
+		ops := batches[bi]
+		if bi > 0 {
+			ops = randomBatch(rng, shadow, 12, bound)
+		}
+		for _, op := range ops {
+			applyToShadow(shadow, op)
+		}
+		got, err := eng.Apply(context.Background(), ops)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		want, err := core.ReconstructContext(context.Background(), shadow, m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(render(t, got), render(t, want)) {
+			t.Fatalf("batch %d: session output diverges from full rebuild (%d vs %d unique)",
+				bi, got.Hypergraph.NumUnique(), want.Hypergraph.NumUnique())
+		}
+		if got.FilteredSize2 != want.FilteredSize2 {
+			t.Fatalf("batch %d: FilteredSize2 %d != full rebuild %d", bi, got.FilteredSize2, want.FilteredSize2)
+		}
+		sharded, err := core.ReconstructSharded(context.Background(), shadow, m, opts, core.ShardOptions{Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(render(t, got), render(t, sharded)) {
+			t.Fatalf("batch %d: session output diverges from sharded rebuild", bi)
+		}
+		if bi == 0 {
+			if got.DirtyComponents == 0 || got.DirtyComponents != eng.CachedComponents() {
+				t.Fatalf("initial build: dirty %d, cached %d", got.DirtyComponents, eng.CachedComponents())
+			}
+		} else if got.DirtyComponents >= eng.CachedComponents() {
+			t.Fatalf("batch %d: %d of %d components dirty — localized deltas should leave most cached",
+				bi, got.DirtyComponents, eng.CachedComponents())
+		}
+	}
+}
+
+// TestEngineNoopAndRevertedBatchesStayCached: batches that do not change
+// any component's edge set (structural no-ops, or mutations reverted
+// within the same batch) must recompute nothing.
+func TestEngineNoopAndRevertedBatchesStayCached(t *testing.T) {
+	g, m := multiComponentTarget(t)
+	eng := New(g, m, core.Options{Seed: 1}, 0)
+	full, err := eng.Apply(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := render(t, full)
+
+	e := eng.Graph().Edges()[0]
+	for name, ops := range map[string][]graph.DeltaOp{
+		"empty":           nil,
+		"remove-absent":   {{Kind: graph.DeltaRemove, U: 0, V: eng.Graph().NumNodes() - 1}},
+		"set-same-weight": {{Kind: graph.DeltaSet, U: e.U, V: e.V, W: e.W}},
+		"add-then-revert": {
+			{Kind: graph.DeltaAdd, U: e.U, V: e.V, W: 2},
+			{Kind: graph.DeltaSet, U: e.U, V: e.V, W: e.W},
+		},
+	} {
+		res, err := eng.Apply(context.Background(), ops)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.DirtyComponents != 0 {
+			t.Errorf("%s: recomputed %d components, want 0", name, res.DirtyComponents)
+		}
+		if !bytes.Equal(render(t, res), base) {
+			t.Errorf("%s: output changed", name)
+		}
+	}
+	// Sanity: remove-absent against a node pair inside one component that
+	// IS an edge must dirty exactly that component.
+	res, err := eng.Apply(context.Background(), []graph.DeltaOp{{Kind: graph.DeltaRemove, U: e.U, V: e.V}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirtyComponents == 0 {
+		t.Fatal("real delete recomputed nothing")
+	}
+	if eng.Applies() != 6 || eng.LastDirty() != res.DirtyComponents {
+		t.Fatalf("counters: applies %d lastDirty %d (want 6, %d)",
+			eng.Applies(), eng.LastDirty(), res.DirtyComponents)
+	}
+}
+
+// TestEngineMergeAndSplit: inserting an inter-component edge must dirty
+// only the merged component; deleting it must dirty both sides — and both
+// states must match full rebuilds.
+func TestEngineMergeAndSplit(t *testing.T) {
+	g, m := multiComponentTarget(t)
+	opts := core.Options{Seed: 9}
+	shadow := g.Clone()
+	eng := New(g, m, opts, 0)
+	if _, err := eng.Apply(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	total := eng.CachedComponents()
+	if total < 3 {
+		t.Fatalf("fixture should have ≥ 3 components, got %d", total)
+	}
+
+	// Bridge the components containing the globally smallest and largest
+	// edge endpoints (guaranteed distinct blocks of the disjoint union).
+	edges := shadow.Edges()
+	u, v := edges[0].U, edges[len(edges)-1].V
+	bridge := graph.DeltaOp{Kind: graph.DeltaAdd, U: u, V: v, W: 1}
+	applyToShadow(shadow, bridge)
+	res, err := eng.Apply(context.Background(), []graph.DeltaOp{bridge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirtyComponents != 1 {
+		t.Fatalf("merge dirtied %d components, want 1", res.DirtyComponents)
+	}
+	if eng.CachedComponents() != total-1 {
+		t.Fatalf("after merge: %d components cached, want %d", eng.CachedComponents(), total-1)
+	}
+	want, err := core.ReconstructContext(context.Background(), shadow, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(render(t, res), render(t, want)) {
+		t.Fatal("merged-component output diverges from full rebuild")
+	}
+
+	// Cut the bridge again: the component splits back; both sides are
+	// rehashed but land on their pre-merge fingerprints only if those
+	// entries were still cached — they were evicted at the merge, so both
+	// sides recompute.
+	cut := graph.DeltaOp{Kind: graph.DeltaRemove, U: u, V: v}
+	applyToShadow(shadow, cut)
+	res, err = eng.Apply(context.Background(), []graph.DeltaOp{cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirtyComponents != 2 {
+		t.Fatalf("split dirtied %d components, want 2", res.DirtyComponents)
+	}
+	if eng.CachedComponents() != total {
+		t.Fatalf("after split: %d components cached, want %d", eng.CachedComponents(), total)
+	}
+	want, err = core.ReconstructContext(context.Background(), shadow, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(render(t, res), render(t, want)) {
+		t.Fatal("post-split output diverges from full rebuild")
+	}
+}
+
+// TestEngineProgressCarriesDirtyCount: every progress event of an Apply
+// reports how many components that Apply is recomputing.
+func TestEngineProgressCarriesDirtyCount(t *testing.T) {
+	g, m := multiComponentTarget(t)
+	var dirtySeen []int
+	opts := core.Options{Seed: 1, Progress: func(p core.Progress) {
+		dirtySeen = append(dirtySeen, p.Dirty)
+	}}
+	eng := New(g, m, opts, 0)
+	res, err := eng.Apply(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirtySeen) == 0 {
+		t.Fatal("no progress events")
+	}
+	for _, d := range dirtySeen {
+		if d != res.DirtyComponents {
+			t.Fatalf("event carried Dirty %d, want %d", d, res.DirtyComponents)
+		}
+	}
+}
+
+// TestEnginePanicMidBatchKeepsEquivalence: a batch that dies in a graph
+// primitive after mutating earlier ops (here: a cumulative int32 weight
+// overflow, which every op passes wire validation for) must not poison
+// the cache — the next Apply re-derives the touched components and still
+// matches a from-scratch rebuild of the partially-mutated graph.
+func TestEnginePanicMidBatchKeepsEquivalence(t *testing.T) {
+	g, m := multiComponentTarget(t)
+	opts := core.Options{Seed: 4}
+	shadow := g.Clone()
+	eng := New(g, m, opts, 0)
+	if _, err := eng.Apply(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	edges := shadow.Edges()
+	eA := edges[0]            // component in the first block
+	eB := edges[len(edges)-1] // component in the last block
+	const maxW = math.MaxInt32/2 + 1
+	batch := []graph.DeltaOp{
+		{Kind: graph.DeltaAdd, U: eA.U, V: eA.V, W: 1},    // lands
+		{Kind: graph.DeltaSet, U: eB.U, V: eB.V, W: maxW}, // lands
+		{Kind: graph.DeltaAdd, U: eB.U, V: eB.V, W: maxW}, // cumulative overflow → panic
+	}
+	applyToShadow(shadow, batch[0])
+	applyToShadow(shadow, batch[1])
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected the overflow panic")
+			}
+		}()
+		_, _ = eng.Apply(context.Background(), batch)
+	}()
+
+	res, err := eng.Apply(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.ReconstructContext(context.Background(), shadow, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(render(t, res), render(t, want)) {
+		t.Fatal("post-panic Apply diverges from full rebuild of the partially-mutated graph")
+	}
+	if res.DirtyComponents == 0 {
+		t.Fatal("post-panic Apply trusted stale cache entries for the mutated components")
+	}
+}
+
+// TestEngineCancelledApplyIsRetryable: a cancelled Apply returns the
+// context error; a retry completes and still matches the full rebuild.
+func TestEngineCancelledApplyIsRetryable(t *testing.T) {
+	g, m := multiComponentTarget(t)
+	opts := core.Options{Seed: 2}
+	shadow := g.Clone()
+	eng := New(g, m, opts, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Apply(ctx, nil); err == nil {
+		t.Fatal("cancelled Apply returned nil error")
+	}
+	res, err := eng.Apply(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.ReconstructContext(context.Background(), shadow, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(render(t, res), render(t, want)) {
+		t.Fatal("retried Apply diverges from full rebuild")
+	}
+}

@@ -10,6 +10,7 @@ package server
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"marioh"
 	"marioh/internal/service"
@@ -139,6 +140,9 @@ type ReconstructResult struct {
 	SearchSeconds float64 `json:"search_seconds"`
 	// Shards is the shard count of a shard-parallel run; 0 = serial.
 	Shards int `json:"shards,omitempty"`
+	// Dirty is the number of components an incremental session apply
+	// recomputed; 0 for non-incremental runs.
+	Dirty int `json:"dirty,omitempty"`
 }
 
 // BatchResult is a batch job's result payload, positionally aligned with
@@ -159,6 +163,7 @@ type ProgressEvent struct {
 	Target         int     `json:"target"`
 	Shard          int     `json:"shard"`
 	Round          int     `json:"round"`
+	Dirty          int     `json:"dirty,omitempty"`
 	Theta          float64 `json:"theta"`
 	EdgesRemaining int     `json:"edges_remaining"`
 	AcceptedRound  int     `json:"accepted_round"`
@@ -170,6 +175,7 @@ func progressEvent(p marioh.Progress) ProgressEvent {
 		Target:         p.Target,
 		Shard:          p.Shard,
 		Round:          p.Round,
+		Dirty:          p.Dirty,
 		Theta:          p.Theta,
 		EdgesRemaining: p.EdgesRemaining,
 		AcceptedRound:  p.AcceptedRound,
@@ -185,6 +191,64 @@ type Health struct {
 	Workers       int     `json:"workers"`
 	QueueDepth    int     `json:"queue_depth"`
 	Models        int     `json:"models"`
+	Sessions      int     `json:"sessions"`
+}
+
+// SessionRequest is the body of POST /v1/sessions: open an incremental
+// reconstruction session over a base projected graph, using a registry
+// model and the usual option spec.
+type SessionRequest struct {
+	Model   string     `json:"model"`
+	Graph   string     `json:"graph"`
+	Options OptionSpec `json:"options,omitempty"`
+}
+
+// SessionInfo is the JSON snapshot of a server session.
+type SessionInfo struct {
+	ID    string `json:"id"`
+	Model string `json:"model"`
+	// Nodes/Edges describe the session's current graph; Components is the
+	// number of live components with a cached reconstruction.
+	Nodes      int `json:"nodes"`
+	Edges      int `json:"edges"`
+	Components int `json:"components"`
+	// Applies counts delta batches served; LastDirty is the component
+	// count the latest batch recomputed.
+	Applies   int       `json:"applies"`
+	LastDirty int       `json:"last_dirty"`
+	LastJob   string    `json:"last_job,omitempty"`
+	Created   time.Time `json:"created"`
+	LastUsed  time.Time `json:"last_used"`
+}
+
+// SessionApplyRequest is the body of POST /v1/sessions/{id}/apply. Deltas
+// is an edge-delta stream in the marioh.ReadDeltas text format ("+ u v w",
+// "- u v", "= u v w" lines); an empty stream reconstructs whatever is not
+// cached yet (on a fresh session, the whole graph). Async forces the
+// execution mode; when nil, applies run synchronously on the request
+// goroutine up to the server's sync edge limit and are queued above it.
+// A session accepts one apply at a time (overlap answers 409 Conflict).
+//
+// Delta batches are NOT idempotent ("+ u v w" accumulates). The deltas
+// are applied to the session graph before reconstruction starts, so when
+// a sync apply fails ambiguously (timeout, disconnect, 503 during
+// drain), the client must not blindly re-send the batch: check the
+// session's `applies` counter via GET /v1/sessions/{id} to see whether
+// the batch landed, prefer async applies (the job outcome is inspectable
+// after the fact), or recreate the session from a known graph.
+type SessionApplyRequest struct {
+	Deltas string `json:"deltas"`
+	Async  *bool  `json:"async,omitempty"`
+}
+
+// SessionApplyResponse is the 200 body of a synchronous apply;
+// asynchronous submissions return a JobInfo with status 202 instead. The
+// embedded result's Dirty field reports how many components the apply
+// recomputed.
+type SessionApplyResponse struct {
+	JobID   string            `json:"job_id"`
+	Session SessionInfo       `json:"session"`
+	Result  ReconstructResult `json:"result"`
 }
 
 // apiError is the JSON error envelope every non-2xx response carries.

@@ -187,6 +187,55 @@ func JobResult(info JobInfo, out any) error {
 	return json.Unmarshal(raw, out)
 }
 
+// CreateSession opens an incremental reconstruction session on the
+// server.
+func (c *Client) CreateSession(ctx context.Context, req SessionRequest) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &info)
+	return info, err
+}
+
+// Sessions lists the server's open sessions.
+func (c *Client) Sessions(ctx context.Context) ([]SessionInfo, error) {
+	var out []SessionInfo
+	err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &out)
+	return out, err
+}
+
+// Session fetches one session.
+func (c *Client) Session(ctx context.Context, id string) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// DeleteSession closes a session.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// ApplySession applies a delta batch to a session. A synchronous apply
+// (HTTP 200) returns the response; an asynchronous submission (HTTP 202)
+// returns the job to poll (resp nil).
+func (c *Client) ApplySession(ctx context.Context, id string, req SessionApplyRequest) (*SessionApplyResponse, *JobInfo, error) {
+	status, raw, err := c.doRaw(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/apply", req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if status == http.StatusAccepted {
+		var info JobInfo
+		if err := json.Unmarshal(raw, &info); err != nil {
+			return nil, nil, err
+		}
+		return nil, &info, nil
+	}
+	var resp SessionApplyResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, nil, err
+	}
+	return &resp, nil, nil
+}
+
 // Models lists the registry.
 func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
 	var out []ModelInfo

@@ -379,6 +379,13 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
+	s.streamJobEvents(w, r, job)
+}
+
+// streamJobEvents writes a job's SSE progress stream: buffered replay,
+// live events, then a terminal "done" frame. Shared by the job and
+// session event endpoints.
+func (s *Server) streamJobEvents(w http.ResponseWriter, r *http.Request, job *Job) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		s.writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
@@ -481,11 +488,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Workers:       s.cfg.Workers,
 		QueueDepth:    s.queue.Depth(),
 		Models:        s.registry.Len(),
+		Sessions:      s.sessions.Len(),
 	})
 }
 
 // handleMetrics implements GET /metrics in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.Render(w, s.queue.Depth(), s.queue.Counts())
+	s.metrics.Render(w, s.queue.Depth(), s.queue.Counts(), s.sessions.Len())
 }

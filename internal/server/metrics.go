@@ -23,6 +23,12 @@ type Metrics struct {
 
 	shardedRuns     int64 // reconstructions that went through the shard engine
 	shardsProcessed int64 // total shards reconstructed across those runs
+
+	sessionsCreated int64 // incremental sessions opened
+	sessionsEvicted int64 // sessions dropped by the LRU bound
+	sessionApplies  int64 // delta batches served by sessions
+	sessionDirty    int64 // components recomputed across those applies
+	sessionReused   int64 // components merged from the session cache instead
 }
 
 // stageStat accumulates wall-clock spent in one pipeline stage.
@@ -73,6 +79,25 @@ func (m *Metrics) ShardRun(n int) {
 	m.shardsProcessed += int64(n)
 }
 
+// SessionOpen records one opened session and how many the LRU bound
+// evicted to make room.
+func (m *Metrics) SessionOpen(evicted int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionsCreated++
+	m.sessionsEvicted += int64(evicted)
+}
+
+// SessionApply records one served delta batch: dirty components were
+// recomputed, reused ones merged from the session cache.
+func (m *Metrics) SessionApply(dirty, reused int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionApplies++
+	m.sessionDirty += int64(dirty)
+	m.sessionReused += int64(reused)
+}
+
 // Stage records time spent in a named pipeline stage (train_sample,
 // train_optimize, filter, search).
 func (m *Metrics) Stage(name string, d time.Duration) {
@@ -90,9 +115,10 @@ func (m *Metrics) Stage(name string, d time.Duration) {
 	}
 }
 
-// Render writes the Prometheus text exposition. queueDepth and jobCounts
-// are sampled by the caller from the live queue.
-func (m *Metrics) Render(w io.Writer, queueDepth int, jobCounts map[JobStatus]int) {
+// Render writes the Prometheus text exposition. queueDepth, jobCounts and
+// openSessions are sampled by the caller from the live queue and session
+// store.
+func (m *Metrics) Render(w io.Writer, queueDepth int, jobCounts map[JobStatus]int, openSessions int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -130,6 +156,19 @@ func (m *Metrics) Render(w io.Writer, queueDepth int, jobCounts map[JobStatus]in
 	fmt.Fprintf(w, "marioh_sharded_runs_total %d\n", m.shardedRuns)
 	fmt.Fprintf(w, "# TYPE marioh_shards_processed_total counter\n")
 	fmt.Fprintf(w, "marioh_shards_processed_total %d\n", m.shardsProcessed)
+
+	fmt.Fprintf(w, "# TYPE marioh_sessions_open gauge\n")
+	fmt.Fprintf(w, "marioh_sessions_open %d\n", openSessions)
+	fmt.Fprintf(w, "# TYPE marioh_session_created_total counter\n")
+	fmt.Fprintf(w, "marioh_session_created_total %d\n", m.sessionsCreated)
+	fmt.Fprintf(w, "# TYPE marioh_session_evictions_total counter\n")
+	fmt.Fprintf(w, "marioh_session_evictions_total %d\n", m.sessionsEvicted)
+	fmt.Fprintf(w, "# TYPE marioh_session_applies_total counter\n")
+	fmt.Fprintf(w, "marioh_session_applies_total %d\n", m.sessionApplies)
+	fmt.Fprintf(w, "# TYPE marioh_session_dirty_components_total counter\n")
+	fmt.Fprintf(w, "marioh_session_dirty_components_total %d\n", m.sessionDirty)
+	fmt.Fprintf(w, "# TYPE marioh_session_reused_components_total counter\n")
+	fmt.Fprintf(w, "marioh_session_reused_components_total %d\n", m.sessionReused)
 
 	fmt.Fprintf(w, "# TYPE marioh_stage_seconds_total counter\n")
 	for _, name := range sortedStageKeys(m.stages) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -199,7 +200,10 @@ func (j *Job) finish(status JobStatus, result any, err error) {
 }
 
 // execute runs the workload under ctx, classifying the outcome: a workload
-// error equal to ctx.Err() counts as cancellation, not failure.
+// error equal to ctx.Err() counts as cancellation, not failure. A panicking
+// workload fails its own job instead of killing the worker goroutine (and
+// with it the daemon) — malformed inputs that slip past request validation
+// must never be able to crash the process from the async lane.
 func (j *Job) execute(ctx context.Context) {
 	j.mu.Lock()
 	if j.status.Terminal() { // cancelled while queued
@@ -212,7 +216,16 @@ func (j *Job) execute(ctx context.Context) {
 	run := j.run
 	j.mu.Unlock()
 
-	result, err := run(ctx, j)
+	result, err := func() (result any, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				// Keep the stack: the whole point of surviving the panic
+				// is being able to find it afterwards.
+				result, err = nil, fmt.Errorf("job panicked: %v\n%s", p, debug.Stack())
+			}
+		}()
+		return run(ctx, j)
+	}()
 	switch {
 	case err == nil:
 		j.finish(StatusSucceeded, result, nil)

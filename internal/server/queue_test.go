@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -54,6 +55,39 @@ func TestQueueDrainRunsAcceptedJobs(t *testing.T) {
 	}
 	if _, err := q.Submit(JobTrain, quickJob); !errors.Is(err, ErrShuttingDown) {
 		t.Fatalf("submit after drain = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestQueuePanickingJobFailsWithoutKillingWorker: a workload panic must
+// fail its own job and leave the worker alive to run the next one — a
+// crafted request that slips past validation must never take down the
+// daemon from the async lane.
+func TestQueuePanickingJobFailsWithoutKillingWorker(t *testing.T) {
+	q := NewQueue(context.Background(), 1, 8, 0)
+	bad, err := q.Submit(JobReconstruct, func(context.Context, *Job) (any, error) {
+		panic("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := q.Submit(JobReconstruct, quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-bad.Done()
+	if got := bad.Status(); got != StatusFailed {
+		t.Fatalf("panicking job = %q, want failed", got)
+	}
+	if _, err := bad.Result(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panicking job error = %v, want the panic value", err)
+	}
+	// The single worker survived and services the next job.
+	<-good.Done()
+	if got := good.Status(); got != StatusSucceeded {
+		t.Fatalf("follow-up job = %q, want succeeded", got)
+	}
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -38,6 +38,10 @@ type Config struct {
 	// /v1/reconstruct runs synchronously; bigger targets are queued as
 	// jobs. Default 20000.
 	SyncEdgeLimit int
+	// SessionLimit bounds how many incremental reconstruction sessions
+	// stay open; opening one beyond it evicts the least-recently-used
+	// session. Default 16.
+	SessionLimit int
 	// ShutdownTimeout bounds graceful shutdown: in-flight jobs get this
 	// long to drain before their contexts are cancelled. Default 30s.
 	ShutdownTimeout time.Duration
@@ -69,6 +73,9 @@ func (c *Config) defaults() {
 	if c.SyncEdgeLimit <= 0 {
 		c.SyncEdgeLimit = 20000
 	}
+	if c.SessionLimit <= 0 {
+		c.SessionLimit = 16
+	}
 	if c.ShutdownTimeout <= 0 {
 		c.ShutdownTimeout = 30 * time.Second
 	}
@@ -84,6 +91,7 @@ type Server struct {
 	queue    *Queue
 	registry *Registry
 	metrics  *Metrics
+	sessions *sessionStore
 	mux      *http.ServeMux
 	start    time.Time
 
@@ -105,6 +113,7 @@ func New(cfg Config) (*Server, error) {
 		queue:     NewQueue(context.Background(), cfg.Workers, cfg.QueueDepth, cfg.JobHistory),
 		registry:  reg,
 		metrics:   NewMetrics(),
+		sessions:  newSessionStore(cfg.SessionLimit),
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
 		addrReady: make(chan struct{}),
@@ -125,6 +134,12 @@ func (s *Server) routes() {
 	handle("GET /v1/jobs/{id}", s.handleJob)
 	handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	handle("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	handle("POST /v1/sessions", s.handleSessionCreate)
+	handle("GET /v1/sessions", s.handleSessions)
+	handle("GET /v1/sessions/{id}", s.handleSessionGet)
+	handle("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	handle("POST /v1/sessions/{id}/apply", s.handleSessionApply)
+	handle("GET /v1/sessions/{id}/events", s.handleSessionEvents)
 	handle("GET /v1/models", s.handleModels)
 	handle("GET /v1/models/{name}", s.handleModelGet)
 	handle("PUT /v1/models/{name}", s.handleModelPut)
@@ -215,6 +230,8 @@ func errStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrModelNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, ErrSessionBusy):
+		return http.StatusConflict
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrShuttingDown):

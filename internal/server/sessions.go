@@ -1,0 +1,424 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"marioh"
+)
+
+// JobSession is the job kind of an asynchronous session apply.
+const JobSession JobKind = "session"
+
+// ErrSessionBusy is returned when a session already has an apply in
+// flight; handlers map it to 409 Conflict. Applies mutate the session
+// graph in submission order, so overlapping batches from one client
+// would interleave unpredictably — the server refuses them instead and
+// the client retries (or waits on the in-flight job).
+var ErrSessionBusy = errors.New("server: session has an apply in flight")
+
+// serverSession is one incremental reconstruction session hosted by the
+// daemon: a marioh.Session plus bookkeeping for listings and LRU
+// eviction.
+type serverSession struct {
+	ID    string
+	Model string
+
+	sess    *marioh.Session
+	created time.Time
+
+	// pub is the progress sink of the apply currently running (fanning
+	// events into its job); the session's Reconstructor was configured
+	// with a callback that forwards through it. Exclusive thanks to the
+	// busy guard — at most one apply runs per session.
+	pub atomic.Value // marioh.ProgressFunc
+
+	mu       sync.Mutex
+	lastUsed time.Time
+	lastJob  string
+	busy     bool
+	// stats is the last known snapshot, refreshed after every apply, so
+	// info() never blocks on the Session mutex behind a running apply.
+	stats marioh.SessionStats
+}
+
+// acquire claims the session's single apply slot.
+func (ss *serverSession) acquire() error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.busy {
+		return ErrSessionBusy
+	}
+	ss.busy = true
+	return nil
+}
+
+// release frees the apply slot and refreshes the cached stats snapshot.
+func (ss *serverSession) release() {
+	st := ss.sess.Stats()
+	ss.mu.Lock()
+	ss.stats = st
+	ss.busy = false
+	ss.mu.Unlock()
+}
+
+// publish forwards a progress event to the active apply's sink, if any.
+func (ss *serverSession) publish(p marioh.Progress) {
+	if fn, ok := ss.pub.Load().(marioh.ProgressFunc); ok && fn != nil {
+		fn(p)
+	}
+}
+
+// touch updates the LRU stamp and the last-apply job pointer.
+func (ss *serverSession) touch(job string) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.lastUsed = time.Now()
+	if job != "" {
+		ss.lastJob = job
+	}
+}
+
+// info snapshots the session for the API from the cached stats — never
+// from the live Session, whose mutex a running apply holds for its whole
+// duration (listings must not hang behind a long build).
+func (ss *serverSession) info() SessionInfo {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return SessionInfo{
+		ID:         ss.ID,
+		Model:      ss.Model,
+		Nodes:      ss.stats.Nodes,
+		Edges:      ss.stats.Edges,
+		Components: ss.stats.Components,
+		Applies:    ss.stats.Applies,
+		LastDirty:  ss.stats.LastDirty,
+		LastJob:    ss.lastJob,
+		Created:    ss.created,
+		LastUsed:   ss.lastUsed,
+	}
+}
+
+// sessionStore owns the daemon's sessions with LRU eviction: opening a
+// session beyond the limit evicts the least-recently-used one, so a
+// long-lived daemon's memory is bounded by limit live graphs + caches.
+type sessionStore struct {
+	mu     sync.Mutex
+	limit  int
+	nextID int
+	byID   map[string]*serverSession
+}
+
+func newSessionStore(limit int) *sessionStore {
+	if limit <= 0 {
+		limit = 16
+	}
+	return &sessionStore{limit: limit, byID: map[string]*serverSession{}}
+}
+
+// Add registers a session, evicting LRU entries beyond the limit. It
+// returns the ids evicted (for metrics/logs).
+func (st *sessionStore) Add(ss *serverSession) []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.nextID++
+	ss.ID = fmt.Sprintf("s-%06d", st.nextID)
+	st.byID[ss.ID] = ss
+	var evicted []string
+	for len(st.byID) > st.limit {
+		var lru *serverSession
+		for _, cand := range st.byID {
+			if cand == ss {
+				continue
+			}
+			if lru == nil || cand.lastStamp().Before(lru.lastStamp()) {
+				lru = cand
+			}
+		}
+		if lru == nil {
+			break
+		}
+		delete(st.byID, lru.ID)
+		evicted = append(evicted, lru.ID)
+	}
+	return evicted
+}
+
+// lastStamp returns the LRU ordering key.
+func (ss *serverSession) lastStamp() time.Time {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.lastUsed
+}
+
+// Get looks a session up by id.
+func (st *sessionStore) Get(id string) (*serverSession, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ss, ok := st.byID[id]
+	return ss, ok
+}
+
+// Delete removes a session; an in-flight apply keeps its own reference
+// and finishes harmlessly.
+func (st *sessionStore) Delete(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.byID[id]; !ok {
+		return false
+	}
+	delete(st.byID, id)
+	return true
+}
+
+// List returns every session in creation order (ids are zero-padded, so
+// string order is creation order), matching the jobs listing convention.
+func (st *sessionStore) List() []*serverSession {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*serverSession, 0, len(st.byID))
+	for _, ss := range st.byID {
+		out = append(out, ss)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of live sessions.
+func (st *sessionStore) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.byID)
+}
+
+// handleSessionCreate implements POST /v1/sessions: open an incremental
+// session over a base graph with a registry model.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Model == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("sessions: model is required"))
+		return
+	}
+	if req.Graph == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("sessions: base graph is required"))
+		return
+	}
+	g, err := parseGraph(req.Graph)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := s.registry.Get(req.Model)
+	if err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	opts, err := req.Options.Options()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ss := &serverSession{Model: req.Model, created: time.Now(), lastUsed: time.Now()}
+	opts = append(opts, s.shardingOptions(req.Options)...)
+	opts = append(opts, marioh.WithModel(m), marioh.WithProgress(ss.publish))
+	rec, err := marioh.New(opts...)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := rec.OpenSession(g)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ss.sess = sess
+	ss.stats = sess.Stats()
+	evicted := s.sessions.Add(ss)
+	s.metrics.SessionOpen(len(evicted))
+	for _, id := range evicted {
+		s.cfg.Logf("mariohd: session %s evicted (LRU, limit %d)", id, s.cfg.SessionLimit)
+	}
+	s.cfg.Logf("mariohd: session %s opened (model %s, %d nodes, %d edges)",
+		ss.ID, ss.Model, g.NumNodes(), g.NumEdges())
+	s.writeJSON(w, http.StatusCreated, ss.info())
+}
+
+// handleSessions implements GET /v1/sessions.
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	sessions := s.sessions.List()
+	out := make([]SessionInfo, len(sessions))
+	for i, ss := range sessions {
+		out[i] = ss.info()
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleSessionGet implements GET /v1/sessions/{id}.
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ss.info())
+}
+
+// handleSessionDelete implements DELETE /v1/sessions/{id}.
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.Delete(r.PathValue("id")) {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSessionApply implements POST /v1/sessions/{id}/apply: parse the
+// delta stream, run Session.Apply as a job (inline on the request
+// goroutine by default, queued with {"async": true}), and answer with the
+// full reconstruction of the mutated graph.
+func (s *Server) handleSessionApply(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	var req SessionApplyRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ops, err := marioh.ReadDeltas(strings.NewReader(req.Deltas))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Delta streams grow the node set densely (an op introduces at most
+	// two nodes), so bound the growth a batch may request — an id far
+	// beyond it would make the engine allocate per-node state up to the
+	// id before any real work, an easy remote memory exhaustion.
+	limit := ss.info().Nodes + 2*len(ops)
+	for _, op := range ops {
+		if op.U >= limit || op.V >= limit {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf(
+				"sessions: delta node id %d beyond the session's growth bound %d (graph has %d nodes)",
+				max(op.U, op.V), limit, ss.info().Nodes))
+			return
+		}
+	}
+	// One apply at a time per session: deltas are ordered mutations, and
+	// two in flight would interleave unpredictably on the worker pool.
+	if err := ss.acquire(); err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	// The slot is freed exactly once per acquisition, on whichever comes
+	// first: the workload's defer, the job's terminal state (covers an
+	// async job cancelled while still queued, whose workload never runs),
+	// or a failed submission.
+	var relOnce sync.Once
+	release := func() { relOnce.Do(ss.release) }
+
+	run := func(ctx context.Context, job *Job) (any, error) {
+		defer release()
+		ss.pub.Store(s.publisher(job))
+		defer ss.pub.Store(marioh.ProgressFunc(nil))
+		res, err := ss.sess.Apply(ctx, marioh.Delta{Ops: ops})
+		ss.touch(job.ID)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.Stage("session_apply", res.Times.Filtering+res.Times.Bidirectional)
+		st := ss.sess.Stats()
+		s.metrics.SessionApply(res.DirtyComponents, st.Components-res.DirtyComponents)
+		rr, err := reconstructResult(res)
+		if err != nil {
+			return nil, err
+		}
+		rr.Dirty = res.DirtyComponents
+		return rr, nil
+	}
+
+	// Default to the queue for sessions over big graphs, mirroring
+	// /v1/reconstruct's sync gate: a worst-case apply (the initial build,
+	// or a delta merging giant components) reconstructs a graph-sized
+	// dirty set, which must not monopolize a request goroutine unless the
+	// client explicitly asks for it.
+	async := ss.info().Edges > s.cfg.SyncEdgeLimit
+	if req.Async != nil {
+		async = *req.Async
+	}
+	if async {
+		job, err := s.submit(JobSession, run)
+		if err != nil {
+			release()
+			s.writeError(w, errStatus(err), err)
+			return
+		}
+		ss.touch(job.ID) // stamp eagerly so /events can find the job at once
+		go func() {
+			<-job.Done()
+			release()
+		}()
+		s.writeJSON(w, http.StatusAccepted, job.Info())
+		return
+	}
+
+	job, err := s.queue.NewJob(JobSession, run)
+	if err != nil {
+		release()
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	s.watch(job)
+	s.queue.RunInline(r.Context(), job)
+	release() // refresh cached stats before snapshotting the response
+	result, err := job.Result()
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, SessionApplyResponse{
+		JobID:   job.ID,
+		Session: ss.info(),
+		Result:  result.(ReconstructResult),
+	})
+}
+
+// handleSessionEvents implements GET /v1/sessions/{id}/events: the SSE
+// progress stream of the session's most recent apply job.
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	ss.mu.Lock()
+	lastJob := ss.lastJob
+	ss.mu.Unlock()
+	if lastJob == "" {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("session %q has no applies yet", ss.ID))
+		return
+	}
+	job, ok := s.queue.Get(lastJob)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("session %q: job %q expired from history", ss.ID, lastJob))
+		return
+	}
+	s.streamJobEvents(w, r, job)
+}

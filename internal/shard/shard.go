@@ -70,6 +70,19 @@ type atom struct {
 	edges []graph.Edge
 }
 
+// minNode returns the smallest original node id appearing in the atom,
+// the LPT packing tie-break key for equal-weight atoms. owned[0] is that
+// minimum: owned is sorted ascending, and every assigned edge's smaller
+// endpoint is an owned node (a cut bridge goes to the part owning its
+// smaller endpoint; only the larger endpoint is a halo), so no halo can
+// undercut it. Keying the tie-break on the atom's minimum node makes the
+// packing a pure function of the graph — the property session
+// re-partitioning after deltas relies on for determinism across runs,
+// pinned by TestPackEqualWeightTieBreakByMinNode.
+func (a *atom) minNode() int {
+	return a.owned[0]
+}
+
 // Partition builds a deterministic shard plan for g.
 func Partition(g *graph.Graph, opts Options) *Plan {
 	if opts.Shards < 1 {
@@ -351,20 +364,22 @@ func findBridges(adj [][]int) [][2]int {
 }
 
 // pack bins atoms into at most shards pieces with a deterministic
-// longest-processing-time greedy: atoms sorted by descending edge count
-// (ties: smallest owned node) land in the currently lightest bin (ties:
-// lowest bin index).
+// longest-processing-time greedy: atoms sorted by descending edge count,
+// breaking equal weights by minimum original node id (see atom.minNode),
+// land in the currently lightest bin (ties: lowest bin index).
 func pack(g *graph.Graph, atoms []atom, isolated []int, shards int) *Plan {
 	order := make([]int, len(atoms))
+	minNode := make([]int, len(atoms))
 	for i := range order {
 		order[i] = i
+		minNode[i] = atoms[i].minNode()
 	}
 	sort.Slice(order, func(x, y int) bool {
 		ax, ay := &atoms[order[x]], &atoms[order[y]]
 		if len(ax.edges) != len(ay.edges) {
 			return len(ax.edges) > len(ay.edges)
 		}
-		return ax.owned[0] < ay.owned[0]
+		return minNode[order[x]] < minNode[order[y]]
 	})
 	if shards > len(atoms) && len(atoms) > 0 {
 		shards = len(atoms)

@@ -243,6 +243,57 @@ func TestPartitionDeterministicUnderGOMAXPROCS(t *testing.T) {
 	}
 }
 
+// TestPackEqualWeightTieBreakByMinNode is the LPT tie-break regression
+// test: equal-weight components must pack in ascending min-original-node
+// order into the lightest bin (ties: lowest bin index), so the assignment
+// is a pure function of the graph — the invariant session re-partitioning
+// after deltas relies on for determinism across runs.
+func TestPackEqualWeightTieBreakByMinNode(t *testing.T) {
+	// Six disjoint triangles: all atoms weigh 3 edges, so ordering is
+	// decided entirely by the tie-break.
+	const k = 6
+	g := graph.New(3 * k)
+	for i := 0; i < k; i++ {
+		b := 3 * i
+		g.AddWeight(b, b+1, 1)
+		g.AddWeight(b, b+2, 1)
+		g.AddWeight(b+1, b+2, 1)
+	}
+	plan := Partition(g, Options{Shards: 3})
+	if len(plan.Pieces) != 3 {
+		t.Fatalf("want 3 pieces, got %d", len(plan.Pieces))
+	}
+	// LPT over equal weights: triangle i (min node 3i) lands in bin i%3.
+	for i := 0; i < k; i++ {
+		if got, want := plan.Owner[3*i], i%3; got != want {
+			t.Fatalf("triangle %d (min node %d) packed into piece %d, want %d", i, 3*i, got, want)
+		}
+	}
+	// The assignment must be stable across repeated partitions and across
+	// an insertion-order-permuted rebuild of the same graph.
+	render := func(p *Plan) string {
+		s := fmt.Sprintf("owner=%v\n", p.Owner)
+		for i, piece := range p.Pieces {
+			s += fmt.Sprintf("piece %d nodes=%v edges=%v\n", i, piece.Nodes, piece.Graph.Edges())
+		}
+		return s
+	}
+	want := render(plan)
+	if got := render(Partition(g, Options{Shards: 3})); got != want {
+		t.Fatal("repeated partition differs")
+	}
+	g2 := graph.New(3 * k)
+	for i := k - 1; i >= 0; i-- {
+		b := 3 * i
+		g2.AddWeight(b+1, b+2, 1)
+		g2.AddWeight(b, b+2, 1)
+		g2.AddWeight(b, b+1, 1)
+	}
+	if got := render(Partition(g2, Options{Shards: 3})); got != want {
+		t.Fatal("partition depends on edge insertion order")
+	}
+}
+
 // TestPartitionDisableSplitKeepsComponentsWhole: with splitting disabled an
 // oversized component stays in one piece.
 func TestPartitionDisableSplitKeepsComponentsWhole(t *testing.T) {

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Incremental/serial equivalence matrix (run by `make incr-check` and the
+# CI incremental-equivalence job): for each bundled dataset, generate a
+# reproducible edge-delta stream, then
+#
+#   1. materialize the mutated graph and produce from-scratch golden
+#      reconstructions of it — serial and with -shards 1/4/16, all of
+#      which must be byte-identical to each other
+#   2. replay the delta stream through an incremental session in batches,
+#      with -verify re-running a from-scratch rebuild after EVERY batch
+#      and failing unless the session output matches byte for byte
+#   3. cmp the session's final output against the serial golden
+#
+# The live-daemon mirror of this check runs in scripts/smoke.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp -d)
+work=$(mktemp -d)
+trap 'rm -rf "$bin" "$work"' EXIT
+
+echo "== build"
+go build -o "$bin/mariohctl" ./cmd/mariohctl
+go build -o "$bin/datagen" ./cmd/datagen
+
+for ds in hosts pschool; do
+    echo "== $ds"
+    "$bin/datagen" -dataset "$ds" -seed 1 -reduced -deltas 60 -out "$work"
+    "$bin/mariohctl" train -train "$work/$ds.source.hg" -seed 1 -epochs 15 -out "$work/$ds.model.json"
+
+    echo "   golden: full rebuild of the mutated graph (serial + shards 1/4/16)"
+    "$bin/mariohctl" mutate -graph "$work/$ds.target.graph" -deltas "$work/$ds.target.deltas" \
+        -out "$work/$ds.mutated.graph"
+    "$bin/mariohctl" apply -model "$work/$ds.model.json" -target "$work/$ds.mutated.graph" \
+        -seed 1 -out "$work/$ds.golden.hg"
+    for n in 1 4 16; do
+        "$bin/mariohctl" apply -model "$work/$ds.model.json" -target "$work/$ds.mutated.graph" \
+            -seed 1 -shards "$n" -shard-target 8 -out "$work/$ds.golden.shard$n.hg"
+        cmp "$work/$ds.golden.hg" "$work/$ds.golden.shard$n.hg"
+    done
+
+    echo "   session: replay deltas in batches of 20 with per-batch verification"
+    "$bin/mariohctl" session -model "$work/$ds.model.json" -graph "$work/$ds.target.graph" \
+        -deltas "$work/$ds.target.deltas" -batch 20 -verify -seed 1 -out "$work/$ds.session.hg"
+    cmp "$work/$ds.golden.hg" "$work/$ds.session.hg"
+    echo "   session final state is byte-identical to the from-scratch golden"
+done
+
+echo "== incremental speedup floor (>= 5x at <= 10% dirty components)"
+go test -run TestIncrementalSessionSpeedup -count=1 .
+
+echo "incr-check ok"

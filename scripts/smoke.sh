@@ -25,6 +25,7 @@ trap cleanup EXIT
 echo "== build"
 go build -o "$bin/mariohd" ./cmd/mariohd
 go build -o "$bin/mariohctl" ./cmd/mariohctl
+go build -o "$bin/datagen" ./cmd/datagen
 
 echo "== golden run (CLI / library path)"
 "$bin/mariohctl" gen -dataset hosts -seed 1 -out "$work"
@@ -70,6 +71,22 @@ echo "== sharded /v1/reconstruct (shards fan onto the queue, byte-identical)"
 cmp "$work/golden.hg" "$work/server-shard.hg"
 echo "   sharded server output is byte-identical to the serial golden run"
 curl -fsS "$base/metrics" | grep -q 'marioh_sharded_runs_total 1'
+
+echo "== incremental session over /v1/sessions (byte-identical after deltas)"
+# A reproducible delta stream against the same reduced target graph, plus
+# a from-scratch golden of the mutated graph through the CLI.
+"$bin/datagen" -dataset hosts -seed 1 -reduced -deltas 30 -out "$work"
+"$bin/mariohctl" mutate -graph "$work/hosts.target.graph" -deltas "$work/hosts.target.deltas" \
+    -out "$work/hosts.mutated.graph"
+"$bin/mariohctl" apply -model "$work/model.json" -target "$work/hosts.mutated.graph" \
+    -seed 1 -out "$work/mutated.golden.hg"
+# Replay the stream in batches through a server-side session.
+"$bin/mariohctl" session -server "$base" -model smoke -graph "$work/hosts.target.graph" \
+    -deltas "$work/hosts.target.deltas" -batch 10 -seed 1 -out "$work/session.hg"
+cmp "$work/mutated.golden.hg" "$work/session.hg"
+echo "   session output is byte-identical to a from-scratch rebuild of the mutated graph"
+curl -fsS "$base/metrics" | grep -q 'marioh_session_applies_total 3'
+curl -fsS "$base/metrics" | grep -q 'marioh_session_created_total 1'
 
 echo "== graceful shutdown (SIGTERM drains, exit 0)"
 # Leave an async job racing the shutdown so the drain has work to do; the

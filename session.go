@@ -1,0 +1,147 @@
+package marioh
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+
+	"marioh/internal/graph"
+	"marioh/internal/incremental"
+)
+
+// DeltaKind discriminates the mutation a DeltaOp performs.
+type DeltaKind = graph.DeltaKind
+
+// The delta operations a projected-graph edge stream carries.
+const (
+	// DeltaAdd adds W (> 0) to ω(U, V), inserting the edge if absent.
+	DeltaAdd = graph.DeltaAdd
+	// DeltaRemove deletes the edge {U, V} regardless of its weight.
+	DeltaRemove = graph.DeltaRemove
+	// DeltaSet sets ω(U, V) to exactly W (≥ 0; 0 deletes the edge).
+	DeltaSet = graph.DeltaSet
+)
+
+// DeltaOp is one mutation of a projected graph: an edge insert or weight
+// increase, a delete, or an absolute weight change.
+type DeltaOp = graph.DeltaOp
+
+// Delta is a batch of projected-graph mutations, the unit of change a
+// Session consumes. Ops are applied in order; a batch may freely mix
+// kinds and reference nodes beyond the graph's current node set (which
+// grows to fit).
+type Delta struct {
+	Ops []DeltaOp
+}
+
+// ReadDeltas parses the line-oriented delta text format: "+ u v w" (add),
+// "- u v" (delete), "= u v w" (set). Blank lines and "%" comments are
+// skipped.
+func ReadDeltas(r io.Reader) ([]DeltaOp, error) { return graph.ReadDeltas(r) }
+
+// WriteDeltas serializes a delta stream in the format ReadDeltas parses.
+func WriteDeltas(w io.Writer, ops []DeltaOp) error { return graph.WriteDeltas(w, ops) }
+
+// Session is a long-lived incremental reconstruction: it holds a
+// projected graph, the reconstructed hypergraph of every connected
+// component, and the per-component enumeration state, and recomputes only
+// the components each delta batch touches.
+//
+// The determinism guarantee is the headline: after any sequence of Apply
+// calls, the returned reconstruction is byte-identical to a from-scratch
+// Reconstruct of the mutated graph with the same configuration (asserted
+// by the incremental-equivalence tests and the CI incr-check job). As
+// with sharding, the guarantee assumes the built-in component-local
+// featurizers and does not extend to WithMaxCliqueLimit, whose global
+// per-round budget is applied per component.
+//
+// A Session is safe for concurrent use; Apply calls serialize.
+type Session struct {
+	mu  sync.Mutex
+	eng *incremental.Engine
+}
+
+// SessionStats is a snapshot of a Session's state.
+type SessionStats struct {
+	// Nodes and Edges describe the session's current graph.
+	Nodes, Edges int
+	// Components is the number of live (edge-bearing) connected
+	// components, each with a cached reconstruction.
+	Components int
+	// Applies is the number of Apply calls served.
+	Applies int
+	// LastDirty is the number of components the most recent Apply
+	// recomputed.
+	LastDirty int
+}
+
+// OpenSession starts an incremental reconstruction session over g using
+// r's model and configuration. The graph is copied; the caller's g is
+// never mutated. The session performs no work until the first Apply —
+// Apply with an empty Delta produces the initial full reconstruction.
+//
+// The model is pinned at open time: a later r.Train or r.SetModel does
+// not affect the session (mixing models across components would break the
+// byte-equality guarantee).
+func OpenSession(r *Reconstructor, g *Graph) (*Session, error) {
+	return r.OpenSession(g)
+}
+
+// OpenSession is the method form of marioh.OpenSession.
+func (r *Reconstructor) OpenSession(g *Graph) (*Session, error) {
+	m := r.Model()
+	if m == nil {
+		return nil, ErrNoModel
+	}
+	if g == nil {
+		return nil, errors.New("marioh: nil session graph")
+	}
+	workers := 0
+	if s := r.cfg.sharding; s != nil && s.Workers > 0 {
+		workers = s.Workers
+	} else if r.cfg.parallelism > 0 {
+		workers = r.cfg.parallelism
+	}
+	return &Session{
+		eng: incremental.New(g.Clone(), m, r.reconstructOptions(nil), workers),
+	}, nil
+}
+
+// Apply mutates the session graph with a batch of deltas and returns the
+// reconstruction of the whole mutated graph, recomputing only the
+// components the batch touched; everything else is merged from the
+// session cache. Result.DirtyComponents reports how many components were
+// recomputed, and Progress events emitted during the Apply carry the same
+// count in their Dirty field.
+//
+// Cancelling ctx stops the recomputation; the deltas are already applied,
+// and the partial result is returned with ctx's error. Components that
+// finished stay cached, so retrying with an empty Delta completes the
+// interrupted work.
+func (s *Session) Apply(ctx context.Context, d Delta) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Apply(ctx, d.Ops)
+}
+
+// Graph returns a copy of the session's current projected graph.
+func (s *Session) Graph() *Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Graph().Clone()
+}
+
+// Stats snapshots the session.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.eng.Graph()
+	return SessionStats{
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+		Components: s.eng.CachedComponents(),
+		Applies:    s.eng.Applies(),
+		LastDirty:  s.eng.LastDirty(),
+	}
+}
