@@ -30,7 +30,11 @@ func cmdServe(ctx context.Context, args []string) error {
 	if err := parse(fs, args); err != nil {
 		return err
 	}
-	srv, err := server.New(server.Config{
+	// The server's lifetime must outlive the signal context driving the
+	// graceful drain (see server.New); it ends when this command returns.
+	root, hardStop := context.WithCancel(context.Background())
+	defer hardStop()
+	srv, err := server.New(root, server.Config{
 		Addr:            *addr,
 		Workers:         *workers,
 		QueueDepth:      *queue,

@@ -46,10 +46,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// Two nested lifetimes: root is the process lifetime (it bounds the
+	// job queue, in-flight requests and the drain deadline; cancelled
+	// only when main exits), while the signal context merely requests
+	// the graceful drain — in-flight work must outlive it.
+	root, hardStop := context.WithCancel(context.Background())
+	defer hardStop()
+	ctx, stop := signal.NotifyContext(root, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv, err := server.New(server.Config{
+	srv, err := server.New(root, server.Config{
 		Addr:            *addr,
 		Workers:         *workers,
 		QueueDepth:      *queue,

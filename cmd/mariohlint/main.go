@@ -1,0 +1,75 @@
+// Command mariohlint runs the project's custom go/analysis suite — the
+// analyzers in internal/lint that prove the determinism and concurrency
+// invariants the reconstruction contract rests on (see README "Static
+// analysis").
+//
+// It is a unitchecker binary: the actual loading, typechecking and fact
+// plumbing is done by the go command through the `go vet -vettool`
+// protocol. Invoked with package patterns —
+//
+//	go run ./cmd/mariohlint ./...
+//	go run ./cmd/mariohlint -maporder.packages=internal/foo ./internal/foo
+//
+// — it re-executes itself as `go vet -vettool=<self> <args>`, so both
+// spellings work and CI needs no extra tooling. Findings print as
+// file:line:col: message, one per line; the exit status is nonzero iff
+// any analyzer reported a diagnostic.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"marioh/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if vetProtocol(args) {
+		unitchecker.Main(lint.Analyzers()...) // exits
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mariohlint: %v\n", err)
+		os.Exit(1)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	goTool := os.Getenv("GOTOOL")
+	if goTool == "" {
+		goTool = "go"
+	}
+	cmd := exec.Command(goTool, append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if exit, ok := err.(*exec.ExitError); ok {
+			os.Exit(exit.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "mariohlint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// vetProtocol reports whether the go command is driving us through the
+// vet tool protocol: a -V=full version query, a -flags capability
+// query, or a unitchecker .cfg file (possibly preceded by analyzer
+// flags), rather than a human passing package patterns.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if a == "-flags" || a == "-V=full" || strings.HasPrefix(a, "-V=") {
+			return true
+		}
+		if strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestVetProtocol(t *testing.T) {
+	cases := []struct {
+		args []string
+		want bool
+	}{
+		{nil, false},
+		{[]string{"./..."}, false},
+		{[]string{"./internal/core", "./internal/shard"}, false},
+		{[]string{"-maporder.packages=internal/foo", "./..."}, false},
+		{[]string{"-V=full"}, true},
+		{[]string{"-V=short"}, true},
+		{[]string{"-flags"}, true},
+		{[]string{"/tmp/vet073/pkg.cfg"}, true},
+		{[]string{"-maporder.packages=internal/foo", "/tmp/vet073/pkg.cfg"}, true},
+	}
+	for _, c := range cases {
+		if got := vetProtocol(c.args); got != c.want {
+			t.Errorf("vetProtocol(%q) = %v, want %v", c.args, got, c.want)
+		}
+	}
+}

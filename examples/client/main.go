@@ -36,8 +36,12 @@ func main() {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	// Boot mariohd in-process on a random port.
-	srv, err := server.New(server.Config{
+	// Boot mariohd in-process on a random port. The server's lifetime
+	// context must outlive ctx (which triggers the graceful drain), so
+	// the in-flight work the drain waits for is not hard-stopped.
+	root, hardStop := context.WithCancel(context.Background())
+	defer hardStop()
+	srv, err := server.New(root, server.Config{
 		Addr:    "127.0.0.1:0",
 		Workers: 2,
 		Logf:    func(string, ...any) {}, // keep the example's output clean

@@ -102,7 +102,7 @@ func TrainContext(ctx context.Context, gSrc *graph.Graph, hSrc *hypergraph.Hyper
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
+	t0 := time.Now() //lint:randsource stage timing recorded in Model.Stats, never in reconstruction output
 	X, y, nPos := BuildExamples(gSrc, hSrc, opts)
 	m.Stats.Positives = nPos
 	m.Stats.Negatives = len(X) - nPos
@@ -111,7 +111,7 @@ func TrainContext(ctx context.Context, gSrc *graph.Graph, hSrc *hypergraph.Hyper
 		return nil, err
 	}
 
-	t1 := time.Now()
+	t1 := time.Now() //lint:randsource stage timing recorded in Model.Stats, never in reconstruction output
 	m.Std = mlp.FitStandardizer(X)
 	m.Std.TransformAll(X)
 	m.Net = mlp.New(m.Feat.Dim(), opts.Hidden, opts.Seed+1)

@@ -3,6 +3,7 @@ package hypergraph
 import (
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // ScalarProperties are the seven scalar structural properties compared in
@@ -121,10 +122,14 @@ func (h *Hypergraph) NodeTripleDegreeDist() []float64 {
 			counts[KeySorted([]int{a, b, c})] += mult
 		})
 	})
+	// The sample's order must not leak map iteration order: downstream
+	// KS comparisons sort anyway, but the raw slice is part of the
+	// deterministic-output contract.
 	out := make([]float64, 0, len(counts))
 	for _, c := range counts {
 		out = append(out, float64(c))
 	}
+	sort.Float64s(out)
 	return out
 }
 

@@ -1,0 +1,188 @@
+// Package ctxflow defines the mariohlint analyzer that enforces the
+// context-threading contract below the public API boundary.
+//
+// marioh's cancellation story is end-to-end: the caller's
+// context.Context flows from the public API (marioh), through the
+// daemon (internal/server), into the incremental engine
+// (internal/incremental) and the core rounds. Two things break it:
+//
+//  1. minting a fresh context.Background()/context.TODO() below the
+//     boundary, which severs the caller's cancel signal; and
+//  2. exported functions that call context-aware code without
+//     accepting a context.Context themselves, which forces their
+//     callers into (1).
+//
+// Types that capture a lifecycle context at construction (a struct
+// field of type context.Context, like the server's Queue root) are the
+// sanctioned alternative for background workers; methods on such types
+// are exempt from (2). Deliberate exceptions — shutdown deadlines that
+// must outlive the dead request context, http.Server.BaseContext —
+// carry //lint:ctxflow <reason>.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"marioh/internal/lint/lintutil"
+)
+
+const doc = `require context.Context to flow through exported blocking functions
+
+No context.Background()/context.TODO() below the API boundary, and
+every exported function that calls context-aware code must accept and
+forward a context.Context (or belong to a type that captured one at
+construction). Annotate deliberate exceptions with
+//lint:ctxflow <reason>.`
+
+// DefaultPackages are the context-threaded layers: the public API
+// package plus the server and incremental engines.
+const DefaultPackages = "marioh,internal/server,internal/incremental"
+
+const name = "ctxflow"
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var packagesFlag = DefaultPackages
+
+func init() {
+	Analyzer.Flags.StringVar(&packagesFlag, "packages", DefaultPackages,
+		"comma-separated package path suffixes to analyze")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.InScope(pass.Pkg.Path(), packagesFlag) {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	insp.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return
+		}
+		if name := fn.Name(); name != "Background" && name != "TODO" {
+			return
+		}
+		if lintutil.IsTestFile(pass, call.Pos()) || lintutil.Suppressed(pass, call.Pos(), name) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s below the API boundary severs the caller's cancellation; accept and forward a context.Context (//lint:ctxflow <reason> if deliberate)",
+			fn.Name())
+	})
+
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if !fn.Name.IsExported() || fn.Body == nil {
+			return
+		}
+		if lintutil.IsTestFile(pass, fn.Pos()) {
+			return
+		}
+		if hasContextParam(pass, fn) || receiverHoldsContext(pass, fn) {
+			return
+		}
+		call := firstContextCall(pass, fn)
+		if call == nil {
+			return
+		}
+		if lintutil.Suppressed(pass, fn.Pos(), name) {
+			return
+		}
+		pass.Reportf(fn.Name.Pos(),
+			"exported %s calls context-aware code (%s) but does not accept a context.Context; add a ctx parameter and forward it (//lint:ctxflow <reason> if deliberate)",
+			fn.Name.Name, calleeName(pass, call))
+	})
+	return nil, nil
+}
+
+// hasContextParam reports whether any parameter of fn is a
+// context.Context.
+func hasContextParam(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	for _, field := range fn.Type.Params.List {
+		if lintutil.IsContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverHoldsContext reports whether fn's receiver is a struct that
+// captured a context.Context field at construction — the sanctioned
+// pattern for lifecycle-scoped workers (Queue.root et al.).
+func receiverHoldsContext(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(fn.Recv.List[0].Type)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if lintutil.IsContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// firstContextCall returns the first call in fn's body whose callee
+// takes a context.Context first parameter, skipping nested function
+// literals that themselves bind a ctx parameter (callback shapes like
+// runFunc receive their context from the runner, not from fn).
+func firstContextCall(pass *analysis.Pass, fn *ast.FuncDecl) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			for _, field := range lit.Type.Params.List {
+				if lintutil.IsContextType(pass.TypesInfo.TypeOf(field.Type)) {
+					return false
+				}
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !lintutil.TakesContext(pass.TypesInfo, call) {
+			return true
+		}
+		found = call
+		return false
+	})
+	return found
+}
+
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "a function"
+}

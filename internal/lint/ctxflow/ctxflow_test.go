@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"marioh/internal/lint/ctxflow"
+	"marioh/internal/lint/linttest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, filepath.Join("testdata", "src", "a"))
+}

@@ -1,0 +1,71 @@
+// Package a exercises the ctxflow analyzer: fresh contexts below the
+// API boundary and exported context-blind entry points are flagged;
+// forwarding functions, constructor-captured contexts and justified
+// suppressions are not.
+package a
+
+import "context"
+
+func blockingWork(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+// Forwarder threads its caller's context; fine.
+func Forwarder(ctx context.Context) error {
+	return blockingWork(ctx, 1)
+}
+
+// Minter severs cancellation twice over: it mints a context and hides
+// the need for one from its callers.
+func Minter() error { // want "exported Minter calls context-aware code \\(blockingWork\\) but does not accept a context.Context"
+	return blockingWork(context.Background(), 1) // want "context.Background below the API boundary"
+}
+
+// todoUser is unexported, so only the fresh context is flagged.
+func todoUser() error {
+	return blockingWork(context.TODO(), 1) // want "context.TODO below the API boundary"
+}
+
+// Worker captured its lifecycle context at construction — the
+// sanctioned pattern for background loops.
+type Worker struct {
+	root context.Context
+	n    int
+}
+
+// Run draws on the constructor-captured context; exempt.
+func (w *Worker) Run() error {
+	return blockingWork(w.root, w.n)
+}
+
+// Plain has no captured context, so its exported context-blind method
+// reports.
+type Plain struct{ n int }
+
+// Go calls context-aware code with nothing to forward.
+func (p *Plain) Go() error { // want "exported Go calls context-aware code \\(blockingWork\\) but does not accept a context.Context"
+	return blockingWork(context.TODO(), p.n) // want "context.TODO below the API boundary"
+}
+
+// CallbackHolder only passes context-aware work to a callback that
+// binds its own ctx parameter; the runner supplies the context.
+func CallbackHolder(run func(ctx context.Context) error) func(ctx context.Context) error {
+	return func(ctx context.Context) error { return blockingWork(ctx, 2) }
+}
+
+// Justified carries a reasoned suppression on both rules.
+//
+//lint:ctxflow detached audit log writer; deliberately outlives requests
+func Justified() error {
+	//lint:ctxflow detached audit log writer; deliberately outlives requests
+	return blockingWork(context.Background(), 3)
+}
+
+// Bare directives carry no justification, so both rules still report.
+//
+//lint:ctxflow
+func Bare() error { // want "exported Bare calls context-aware code"
+	//lint:ctxflow
+	return blockingWork(context.Background(), 4) // want "context.Background below the API boundary"
+}

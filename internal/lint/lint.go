@@ -1,0 +1,25 @@
+// Package lint assembles the mariohlint analyzer suite: the custom
+// go/analysis passes that prove the repo's determinism and concurrency
+// invariants at compile time. cmd/mariohlint drives them through the
+// `go vet -vettool` protocol; `make lint` and the CI lint job gate on
+// a clean run.
+package lint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"marioh/internal/lint/ctxflow"
+	"marioh/internal/lint/lockcheck"
+	"marioh/internal/lint/maporder"
+	"marioh/internal/lint/randsource"
+)
+
+// Analyzers returns the full mariohlint suite in a fixed order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		randsource.Analyzer,
+		ctxflow.Analyzer,
+		lockcheck.Analyzer,
+	}
+}

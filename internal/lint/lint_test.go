@@ -1,0 +1,26 @@
+package lint_test
+
+import (
+	"testing"
+
+	"marioh/internal/lint"
+)
+
+func TestAnalyzers(t *testing.T) {
+	as := lint.Analyzers()
+	want := []string{"maporder", "randsource", "ctxflow", "lockcheck"}
+	if len(as) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(as), len(want))
+	}
+	for i, a := range as {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("%s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("%s has no Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package linttest runs mariohlint analyzers over testdata fixtures
+// and checks their diagnostics against analysistest-style
+// `// want "regexp"` expectations.
+//
+// It is a self-contained reimplementation of the relevant slice of
+// golang.org/x/tools/go/analysis/analysistest: that package needs
+// go/packages (not part of the toolchain-vendored x/tools subset this
+// repo builds against), while fixtures here are single packages with
+// stdlib-only imports, which go/types can load directly through the
+// source importer. Facts and suggested fixes are not supported — no
+// mariohlint analyzer uses either.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads the fixture package rooted at dir (all .go files, one
+// package), runs a and its Requires closure, and fails t unless the
+// diagnostics match the fixture's `// want "regexp"` comments exactly.
+// The package is typechecked under an import path containing
+// "/testdata/" so the analyzers' package-scope filters admit it.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: parse %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files in %s", dir)
+	}
+
+	pkgPath := "marioh/internal/lint/testdata/" + filepath.Base(dir)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: typecheck %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	if err := runAnalyzer(a, fset, files, pkg, info, map[*analysis.Analyzer]any{}, &diags); err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	checkExpectations(t, fset, files, diags)
+}
+
+// runAnalyzer executes a after its Requires closure, memoizing results
+// so shared dependencies (inspect) run once.
+func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, results map[*analysis.Analyzer]any, diags *[]analysis.Diagnostic) error {
+	if _, done := results[a]; done {
+		return nil
+	}
+	for _, req := range a.Requires {
+		if err := runAnalyzer(req, fset, files, pkg, info, results, diags); err != nil {
+			return err
+		}
+	}
+	resultOf := map[*analysis.Analyzer]any{}
+	for _, req := range a.Requires {
+		resultOf[req] = results[req]
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   resultOf,
+		Report: func(d analysis.Diagnostic) {
+			*diags = append(*diags, d)
+		},
+		ReadFile: os.ReadFile,
+	}
+	result, err := a.Run(pass)
+	if err != nil {
+		return fmt.Errorf("%s: %v", a.Name, err)
+	}
+	results[a] = result
+	return nil
+}
+
+// expectation is one `// want "re"` clause, keyed by file:line.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// checkExpectations matches diagnostics against want comments
+// one-to-one: every want must be hit by a diagnostic on its line, and
+// every diagnostic must land on a line with a matching want.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+
+	wants := map[string][]*expectation{} // "file:line" → clauses
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, pat := range splitPatterns(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("linttest: bad want regexp at %s: %v", key, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("no diagnostic at %s matching %q", k, w.re)
+			}
+		}
+	}
+}
+
+// splitPatterns parses the clause list after `// want`: one or more
+// double-quoted or backquoted Go-ish string literals.
+func splitPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := strings.Index(s[1:], `"`)
+			if end < 0 {
+				return append(out, s[1:])
+			}
+			// Interpret Go escapes (\\( → \() like analysistest does.
+			pat := s[1 : 1+end]
+			if unq, err := strconv.Unquote(`"` + pat + `"`); err == nil {
+				pat = unq
+			}
+			out = append(out, pat)
+			s = strings.TrimSpace(s[end+2:])
+		case '`':
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				return append(out, s[1:])
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package linttest
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"marioh/internal/lint/maporder"
+)
+
+// TestRunFixture drives the full loader/checker path against a real
+// fixture; the per-analyzer tests in the sibling packages are the
+// behavioral suite, this pins the harness itself.
+func TestRunFixture(t *testing.T) {
+	Run(t, maporder.Analyzer, filepath.Join("..", "maporder", "testdata", "src", "a"))
+}
+
+func TestSplitPatterns(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{`"one"`, []string{"one"}},
+		{`"one" "two"`, []string{"one", "two"}},
+		{"`raw pattern`", []string{"raw pattern"}},
+		{`"a" ` + "`b`", []string{"a", "b"}},
+		// Go escapes in double quotes are interpreted, as in analysistest.
+		{`"calls \\(f\\)"`, []string{`calls \(f\)`}},
+		// Trailing junk after the last literal is ignored.
+		{`"one" and commentary`, []string{"one"}},
+		{``, nil},
+	}
+	for _, c := range cases {
+		if got := splitPatterns(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("splitPatterns(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package lintutil holds the plumbing shared by the mariohlint
+// analyzers: the package-scope filter that keeps each analyzer on its
+// determinism-critical beat, the //lint:<analyzer> suppression
+// directive, and small AST/type helpers.
+//
+// Suppression contract (enforced, not advisory): a finding is silenced
+// only by a comment of the form
+//
+//	//lint:<analyzer> <reason>
+//
+// on the offending line, or on the line directly above it. The reason
+// is mandatory — a bare directive still reports, so every vetted
+// exception in the tree documents why it is safe.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// InScope reports whether the package under analysis is one the
+// analyzer polices. suffixes is the comma-separated list from the
+// analyzer's -<name>.packages flag; a package matches when its import
+// path equals an entry or ends with "/"+entry. Packages under a
+// testdata directory are always in scope so the analysistest fixtures
+// (and `go run ./cmd/mariohlint <fixture dir>`) exercise the analyzer
+// without widening the production flag default.
+func InScope(pkgPath string, suffixes string) bool {
+	if strings.Contains(pkgPath, "/testdata/") {
+		return true
+	}
+	for _, s := range strings.Split(suffixes, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether pos sits in a _test.go file. The
+// determinism and context contracts bind production code; tests are
+// free to use time.Now, ad-hoc contexts and unordered iteration.
+func IsTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.File(pos).Name(), "_test.go")
+}
+
+// Suppressed reports whether the line holding pos carries a
+// "//lint:<name> <reason>" directive — trailing on the same line, or a
+// comment line (or the tail of a doc-comment group) directly above it.
+// Directives without a reason do not count.
+func Suppressed(pass *analysis.Pass, pos token.Pos, name string) bool {
+	file := fileFor(pass, pos)
+	if file == nil {
+		return false
+	}
+	line := pass.Fset.Position(pos).Line
+	prefix := "//lint:" + name
+	for _, group := range file.Comments {
+		endLine := pass.Fset.Position(group.End()).Line
+		if endLine != line && endLine != line-1 {
+			continue
+		}
+		for _, c := range group.List {
+			rest, ok := strings.CutPrefix(c.Text, prefix)
+			if !ok {
+				continue
+			}
+			// Require a whitespace-separated, non-empty justification so
+			// "//lint:maporder" alone (or "//lint:maporderx") never
+			// silences a finding.
+			if len(rest) > 0 && (rest[0] == ' ' || rest[0] == '\t') &&
+				strings.TrimSpace(rest) != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fileFor returns the *ast.File whose extent contains pos.
+func fileFor(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// TakesContext reports whether the call's callee signature declares a
+// context.Context first parameter.
+func TakesContext(info *types.Info, call *ast.CallExpr) bool {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return IsContextType(sig.Params().At(0).Type())
+}
+
+// ReceiverIdent returns the declared receiver identifier of fn, or nil
+// for functions, anonymous receivers and blank receivers.
+func ReceiverIdent(fn *ast.FuncDecl) *ast.Ident {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	id := fn.Recv.List[0].Names[0]
+	if id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+// EnclosingFunc returns the innermost function declaration or literal
+// in stack (a WithStack traversal stack, outermost first).
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

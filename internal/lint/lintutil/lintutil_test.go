@@ -1,0 +1,212 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+func TestInScope(t *testing.T) {
+	const suffixes = "internal/core, internal/shard"
+	cases := []struct {
+		pkg  string
+		want bool
+	}{
+		{"marioh/internal/core", true},
+		{"internal/core", true},
+		{"marioh/internal/shard", true},
+		{"marioh/internal/server", false},
+		{"marioh/internal/corex", false},
+		{"marioh/notinternal/core", false}, // suffix must start at a path segment
+		{"elsewhere/internal/core", true},
+		{"anything/testdata/a", true},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := InScope(c.pkg, suffixes); got != c.want {
+			t.Errorf("InScope(%q) = %v, want %v", c.pkg, got, c.want)
+		}
+	}
+	if InScope("marioh/internal/core", " , ") {
+		t.Error("blank suffix entries must not match everything")
+	}
+}
+
+// parsePass wraps one synthetic file in just enough analysis.Pass for
+// the position-based helpers.
+func parsePass(t *testing.T, filename, src string) (*analysis.Pass, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &analysis.Pass{Fset: fset, Files: []*ast.File{f}}, f
+}
+
+func TestSuppressed(t *testing.T) {
+	pass, f := parsePass(t, "p.go", `package p
+
+func a() {
+	x := 1 //lint:demo timing is cosmetic here
+
+	y := 2
+	//lint:demo reason on the line above
+	z := 3
+	//lint:demo
+	w := 4
+	_, _, _, _ = x, y, z, w
+}
+`)
+	pos := map[string]token.Pos{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				pos[id.Name] = as.Pos()
+			}
+		}
+		return true
+	})
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"x", true},  // trailing directive with reason
+		{"y", false}, // no directive
+		{"z", true},  // directive on the line above
+		{"w", false}, // bare directive: reason is mandatory
+	}
+	for _, c := range cases {
+		if got := Suppressed(pass, pos[c.name], "demo"); got != c.want {
+			t.Errorf("Suppressed(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if Suppressed(pass, pos["x"], "other") {
+		t.Error("directive for one analyzer must not silence another")
+	}
+	if Suppressed(pass, token.NoPos, "demo") {
+		t.Error("positions outside every file must not be suppressed")
+	}
+}
+
+func TestIsTestFile(t *testing.T) {
+	pass, f := parsePass(t, "p_test.go", "package p\n")
+	if !IsTestFile(pass, f.Pos()) {
+		t.Error("p_test.go should be a test file")
+	}
+	pass, f = parsePass(t, "p.go", "package p\n")
+	if IsTestFile(pass, f.Pos()) {
+		t.Error("p.go should not be a test file")
+	}
+}
+
+func TestContextHelpers(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "q.go", `package q
+
+import "context"
+
+func f(ctx context.Context, n int) {}
+func g(n int)                      {}
+
+func use() {
+	f(context.Background(), 1)
+	g(2)
+}
+`, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("q", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+
+	var calls []*ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok && (id.Name == "f" || id.Name == "g") {
+				calls = append(calls, c)
+			}
+		}
+		return true
+	})
+	if len(calls) != 2 {
+		t.Fatalf("found %d calls, want 2", len(calls))
+	}
+	if !TakesContext(info, calls[0]) {
+		t.Error("f takes a context.Context first parameter")
+	}
+	if TakesContext(info, calls[1]) {
+		t.Error("g does not take a context")
+	}
+
+	sig := info.TypeOf(calls[0].Fun).(*types.Signature)
+	if !IsContextType(sig.Params().At(0).Type()) {
+		t.Error("first param of f is context.Context")
+	}
+	if IsContextType(types.Typ[types.Int]) {
+		t.Error("int is not context.Context")
+	}
+}
+
+func TestReceiverIdent(t *testing.T) {
+	_, f := parsePass(t, "r.go", `package r
+
+type T struct{}
+
+func (t *T) named()  {}
+func (_ T) blank()   {}
+func (T) anonymous() {}
+func plain()         {}
+`)
+	got := map[string]bool{} // method name → has receiver ident
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			got[fn.Name.Name] = ReceiverIdent(fn) != nil
+		}
+	}
+	want := map[string]bool{"named": true, "blank": false, "anonymous": false, "plain": false}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("ReceiverIdent(%s) != nil = %v, want %v", name, got[name], w)
+		}
+	}
+}
+
+func TestEnclosingFunc(t *testing.T) {
+	_, f := parsePass(t, "e.go", `package e
+
+func outer() {
+	_ = func() { _ = 1 }
+}
+`)
+	decl := f.Decls[0].(*ast.FuncDecl)
+	var lit *ast.FuncLit
+	ast.Inspect(f, func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok {
+			lit = l
+		}
+		return true
+	})
+
+	if got := EnclosingFunc([]ast.Node{f, decl, decl.Body}); got != decl {
+		t.Errorf("EnclosingFunc in decl body = %T, want the FuncDecl", got)
+	}
+	if got := EnclosingFunc([]ast.Node{f, decl, decl.Body, lit, lit.Body}); got != lit {
+		t.Errorf("EnclosingFunc in literal body = %T, want the FuncLit", got)
+	}
+	if got := EnclosingFunc([]ast.Node{f}); got != nil {
+		t.Errorf("EnclosingFunc outside any function = %T, want nil", got)
+	}
+}

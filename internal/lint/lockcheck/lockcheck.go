@@ -1,0 +1,281 @@
+// Package lockcheck defines the mariohlint analyzer that turns the
+// repo's "// guarded by mu" field comments into a checked contract.
+//
+// A struct field annotated
+//
+//	foo int // guarded by mu
+//
+// (where mu is a sync.Mutex or sync.RWMutex field of the same struct)
+// may only be touched from the struct's methods after the receiver's
+// mu.Lock — or mu.RLock for reads — earlier in the same method body.
+// Two conventions from the server code are recognized as "the caller
+// locked for us": a method name ending in Locked, and a doc comment
+// stating that callers hold the mutex (any phrasing matching
+// "hold ... <mu>"). Residual exceptions carry //lint:lockcheck <reason>.
+//
+// The check is deliberately syntactic — a linear "was Lock called
+// before this point" scan, not a happens-before proof. It formalizes
+// the queue/registry/sessionStore discipline and catches the common
+// regression (a new method reading a guarded map bare); the -race
+// matrix remains the dynamic backstop.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"marioh/internal/lint/lintutil"
+)
+
+const doc = `check that "// guarded by <mu>" fields are accessed with the mutex held
+
+Fields annotated "// guarded by <mu>" must only be read after
+<mu>.Lock/RLock and written after <mu>.Lock earlier in the enclosing
+method, unless the method's name ends in Locked or its doc says callers
+hold the mutex. Annotate vetted exceptions with //lint:lockcheck <reason>.`
+
+const name = "lockcheck"
+
+// Analyzer is the lockcheck pass. It runs everywhere: annotations are
+// opt-in, so un-annotated packages produce no findings.
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)\b`)
+
+// guardedField records one annotated field and the mutex field name
+// protecting it.
+type guardedField struct {
+	structType *types.Named
+	mutex      string
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	guarded := map[*types.Var]guardedField{}
+	insp.Preorder([]ast.Node{(*ast.TypeSpec)(nil)}, func(n ast.Node) {
+		spec := n.(*ast.TypeSpec)
+		st, ok := spec.Type.(*ast.StructType)
+		if !ok {
+			return
+		}
+		named, ok := pass.TypesInfo.Defs[spec.Name].Type().(*types.Named)
+		if !ok {
+			return
+		}
+		for _, field := range st.Fields.List {
+			mu := guardAnnotation(field)
+			if mu == "" {
+				continue
+			}
+			for _, name := range field.Names {
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+					guarded[v] = guardedField{structType: named, mutex: mu}
+				}
+			}
+		}
+	})
+	if len(guarded) == 0 {
+		return nil, nil
+	}
+
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if fn.Body == nil || lintutil.IsTestFile(pass, fn.Pos()) {
+			return
+		}
+		recv := lintutil.ReceiverIdent(fn)
+		if recv == nil {
+			return
+		}
+		recvObj := pass.TypesInfo.Defs[recv]
+		if recvObj == nil {
+			return
+		}
+		checkMethod(pass, fn, recvObj, guarded)
+	})
+	return nil, nil
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line
+// comment, or "" when the field is unannotated.
+func guardAnnotation(field *ast.Field) string {
+	for _, group := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if group == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(group.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockCall is one receiver.<mu>.Lock/RLock site in a method body.
+type lockCall struct {
+	pos   token.Pos
+	mutex string
+	read  bool // RLock
+}
+
+func checkMethod(pass *analysis.Pass, fn *ast.FuncDecl, recvObj types.Object, guarded map[*types.Var]guardedField) {
+	heldByConvention := strings.HasSuffix(fn.Name.Name, "Locked") ||
+		callersHold(fn.Doc)
+
+	// Collect every recv.<mu>.Lock()/RLock() in document order; the
+	// position test below is a linear approximation of "held here".
+	var locks []lockCall
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		method := sel.Sel.Name
+		if method != "Lock" && method != "RLock" {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := inner.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[base] != recvObj {
+			return true
+		}
+		locks = append(locks, lockCall{pos: call.Pos(), mutex: inner.Sel.Name, read: method == "RLock"})
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[base] != recvObj {
+			return true
+		}
+		fieldVar, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return true
+		}
+		gf, ok := guarded[fieldVar]
+		if !ok || heldByConvention {
+			return true
+		}
+		write := isWrite(pass, fn.Body, sel)
+		if lockHeldAt(locks, gf.mutex, sel.Pos(), write) {
+			return true
+		}
+		if lintutil.Suppressed(pass, sel.Pos(), name) {
+			return true
+		}
+		verb := "read"
+		need := gf.mutex + ".Lock or " + gf.mutex + ".RLock"
+		if write {
+			verb = "written"
+			need = gf.mutex + ".Lock"
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s is guarded by %s but %s without %s held (//lint:lockcheck <reason> if safe)",
+			gf.structType.Obj().Name(), fieldVar.Name(), gf.mutex, verb, need)
+		return true
+	})
+}
+
+// callersHold reports whether a method doc declares the caller-locks
+// convention ("callers hold q.mu", "caller must hold mu", ...).
+func callersHold(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	text := doc.Text()
+	return strings.Contains(text, "hold") &&
+		(strings.Contains(text, "mu") || strings.Contains(text, "lock"))
+}
+
+// lockHeldAt reports whether some Lock (or, for reads, RLock) of mutex
+// appears before pos in the method body.
+func lockHeldAt(locks []lockCall, mutex string, pos token.Pos, write bool) bool {
+	for _, l := range locks {
+		if l.mutex != mutex || l.pos >= pos {
+			continue
+		}
+		if write && l.read {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// isWrite reports whether sel is a store target: assigned (directly or
+// through an index), inc/decremented, address-taken, deleted from, or
+// passed to a mutating builtin.
+func isWrite(pass *analysis.Pass, body *ast.BlockStmt, sel *ast.SelectorExpr) bool {
+	write := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if write {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if storeRoot(lhs) == sel {
+					write = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if storeRoot(n.X) == sel {
+				write = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && storeRoot(n.X) == sel {
+				write = true
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); builtin &&
+					(id.Name == "delete" || id.Name == "clear") &&
+					len(n.Args) > 0 && storeRoot(n.Args[0]) == sel {
+					write = true
+				}
+			}
+		}
+		return !write
+	})
+	return write
+}
+
+// storeRoot unwraps index/paren/star chains around a store target to
+// the selector (if any) being written through.
+func storeRoot(expr ast.Expr) ast.Expr {
+	for {
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return expr
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package lockcheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"marioh/internal/lint/linttest"
+	"marioh/internal/lint/lockcheck"
+)
+
+func TestLockCheck(t *testing.T) {
+	linttest.Run(t, lockcheck.Analyzer, filepath.Join("testdata", "src", "a"))
+}

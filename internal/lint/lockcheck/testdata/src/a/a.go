@@ -1,0 +1,92 @@
+// Package a exercises the lockcheck analyzer: "// guarded by mu"
+// fields must be accessed with the mutex held, with the Locked-suffix
+// and callers-hold-doc conventions and justified suppressions exempt.
+package a
+
+import "sync"
+
+// Store is the canonical guarded struct.
+type Store struct {
+	mu    sync.Mutex
+	count int            // guarded by mu
+	byID  map[string]int // guarded by mu
+	name  string         // immutable after construction
+}
+
+// Get reads under the lock; fine.
+func (s *Store) Get(id string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}
+
+// Peek reads bare.
+func (s *Store) Peek() int {
+	return s.count // want "Store.count is guarded by mu but read without mu.Lock or mu.RLock held"
+}
+
+// Bump writes bare, through the lock-free fast path it wishes it had.
+func (s *Store) Bump() {
+	s.count++ // want "Store.count is guarded by mu but written without mu.Lock held"
+}
+
+// Drop deletes from a guarded map bare.
+func (s *Store) Drop(id string) {
+	delete(s.byID, id) // want "Store.byID is guarded by mu but written without mu.Lock held"
+}
+
+// Name reads an unguarded field; no finding.
+func (s *Store) Name() string { return s.name }
+
+// resetLocked relies on the Locked-suffix convention.
+func (s *Store) resetLocked() {
+	s.count = 0
+	s.byID = map[string]int{}
+}
+
+// prune evicts stale entries; callers hold s.mu.
+func (s *Store) prune() {
+	for id, n := range s.byID {
+		if n == 0 {
+			delete(s.byID, id)
+		}
+	}
+}
+
+// Justified carries a reasoned suppression.
+func (s *Store) Justified() int {
+	return s.count //lint:lockcheck read-only stats probe; torn reads acceptable
+}
+
+// Bare directives carry no justification, so the finding stays.
+func (s *Store) Bare() int {
+	//lint:lockcheck
+	return s.count // want "Store.count is guarded by mu but read"
+}
+
+// RWStore exercises the RWMutex read/write split.
+type RWStore struct {
+	mu   sync.RWMutex
+	data []int // guarded by mu
+}
+
+// Read under RLock; fine.
+func (r *RWStore) Read(i int) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.data[i]
+}
+
+// WriteUnderRLock mutates data under only the read half of the RWMutex.
+func (r *RWStore) WriteUnderRLock(i, v int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.data[i] = v // want "RWStore.data is guarded by mu but written without mu.Lock held"
+}
+
+// WriteUnderLock is correct.
+func (r *RWStore) WriteUnderLock(i, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.data[i] = v
+}

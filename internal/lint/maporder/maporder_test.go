@@ -1,0 +1,13 @@
+package maporder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"marioh/internal/lint/linttest"
+	"marioh/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, filepath.Join("testdata", "src", "a"))
+}

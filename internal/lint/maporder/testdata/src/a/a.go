@@ -1,0 +1,146 @@
+// Package a exercises the maporder analyzer: ranges over maps feeding
+// order-sensitive sinks are flagged; the collect-then-sort idiom,
+// order-independent folds and justified suppressions are not.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func mix(h uint64, k int) uint64 { return h*1099511628211 ^ uint64(k) }
+
+// appendNoSort leaks map order into the returned slice.
+func appendNoSort(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "map iteration order feeds an append"
+		out = append(out, k)
+	}
+	return out
+}
+
+// appendThenSort is the sanctioned collect-then-sort idiom.
+func appendThenSort(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// emit prints in map order.
+func emit(m map[string]int) {
+	for k, v := range m { // want "map iteration order feeds output via fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// build writes a builder in map order.
+func build(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m { // want "map iteration order feeds a WriteString call"
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// hashChain folds keys non-commutatively.
+func hashChain(m map[int]int) uint64 {
+	var h uint64
+	for k := range m { // want "map iteration order feeds a self-referential accumulation"
+		h = mix(h, k)
+	}
+	return h
+}
+
+// xorFold is the sanctioned order-independent fingerprint idiom.
+func xorFold(m map[int]int) uint64 {
+	var h uint64
+	for k := range m {
+		h ^= mix(0, k)
+	}
+	return h
+}
+
+// intSum commutes; map order cannot surface.
+func intSum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// floatSum does not associate; map order changes the rounding.
+func floatSum(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "map iteration order feeds a floating-point accumulation"
+		total += v
+	}
+	return total
+}
+
+// keyedStore writes a slice indexed by the map key: every interleaving
+// lands each value in the same slot.
+func keyedStore(m map[int]int, out []int) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+// cursorStore appends by cursor, a map-ordered write.
+func cursorStore(m map[int]int, out []int) {
+	i := 0
+	for _, v := range m { // want "map iteration order feeds a slice write at a loop-carried index"
+		out[i] = v
+		i++
+	}
+}
+
+// mapCopy writes a map from a map; no order surfaces.
+func mapCopy(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// freshPerIteration clones a value inside the body; nothing accumulates
+// across iterations.
+func freshPerIteration(m map[int][]int) map[int][]int {
+	out := make(map[int][]int, len(m))
+	for k, vs := range m {
+		out[k] = append([]int(nil), vs...)
+	}
+	return out
+}
+
+// sendAll forwards values in map order.
+func sendAll(m map[int]int, ch chan<- int) {
+	for _, v := range m { // want "map iteration order feeds a channel send"
+		ch <- v
+	}
+}
+
+// justified carries a reasoned suppression.
+func justified(m map[int]int) []int {
+	var out []int
+	//lint:maporder the caller sorts; kept unsorted to exercise the directive
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// bareDirective has no justification, so it still reports.
+func bareDirective(m map[int]int) []int {
+	var out []int
+	//lint:maporder
+	for k := range m { // want "map iteration order feeds an append"
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+// Package randsource defines the mariohlint analyzer that keeps
+// process-global nondeterminism out of the reconstruction paths.
+//
+// The engine's reproducibility rests on every random draw coming from a
+// seed the caller controls — the component-keyed splitmix64 sampleRNG
+// in internal/core, or an explicit rand.New(rand.NewSource(seed)).
+// Global math/rand draws share mutable process state, time.Now smuggles
+// wall-clock into supposedly pure computations, and os.Getenv makes
+// output depend on the host environment. All three are reported inside
+// the determinism-critical packages unless the site carries a
+// //lint:randsource <reason> justification (timing that only feeds
+// Progress events is the canonical vetted exception).
+package randsource
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"marioh/internal/lint/lintutil"
+)
+
+const doc = `forbid global math/rand, time.Now and os.Getenv in reconstruction paths
+
+Reconstruction must be a pure function of (graph, model, seed). Draws
+from the global math/rand source, wall-clock reads and environment
+lookups break that. Use the component-seeded sampleRNG/splitmix64 idiom
+(or rand.New(rand.NewSource(seed))) instead, or annotate the vetted
+exception with //lint:randsource <reason>.`
+
+// DefaultPackages mirrors maporder's determinism-critical scope.
+const DefaultPackages = "internal/core,internal/graph,internal/shard,internal/incremental,internal/hypergraph"
+
+const name = "randsource"
+
+// Analyzer is the randsource pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var packagesFlag = DefaultPackages
+
+func init() {
+	Analyzer.Flags.StringVar(&packagesFlag, "packages", DefaultPackages,
+		"comma-separated package path suffixes to analyze")
+}
+
+// seededConstructors are the math/rand entry points that take or build
+// an explicit source and therefore stay reproducible.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.InScope(pass.Pkg.Path(), packagesFlag) {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+			return
+		}
+		var msg string
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			if seededConstructors[fn.Name()] {
+				return
+			}
+			msg = "global " + fn.Pkg().Path() + "." + fn.Name() +
+				" draws from process-wide state; use the seeded sampleRNG/splitmix64 idiom"
+		case "time":
+			if fn.Name() != "Now" {
+				return
+			}
+			msg = "time.Now in a reconstruction path makes output depend on the wall clock"
+		case "os":
+			switch fn.Name() {
+			case "Getenv", "LookupEnv", "Environ":
+			default:
+				return
+			}
+			msg = "os." + fn.Name() + " makes reconstruction depend on the host environment"
+		default:
+			return
+		}
+		if lintutil.IsTestFile(pass, call.Pos()) {
+			return
+		}
+		if lintutil.Suppressed(pass, call.Pos(), name) {
+			return
+		}
+		pass.Reportf(call.Pos(), "%s (//lint:randsource <reason> if deliberate)", msg)
+	})
+	return nil, nil
+}

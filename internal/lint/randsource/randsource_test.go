@@ -1,0 +1,13 @@
+package randsource_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"marioh/internal/lint/linttest"
+	"marioh/internal/lint/randsource"
+)
+
+func TestRandSource(t *testing.T) {
+	linttest.Run(t, randsource.Analyzer, filepath.Join("testdata", "src", "a"))
+}

@@ -1,0 +1,59 @@
+// Package a exercises the randsource analyzer: global math/rand draws,
+// wall-clock reads and environment lookups are flagged; seeded
+// constructors and justified suppressions are not.
+package a
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// globalDraw uses the process-wide source.
+func globalDraw(n int) int {
+	return rand.Intn(n) // want "global math/rand.Intn draws from process-wide state"
+}
+
+// globalShuffle permutes via the process-wide source.
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle draws from process-wide state"
+}
+
+// seeded is the sanctioned reproducible idiom.
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// wallClock reads the wall clock.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in a reconstruction path"
+}
+
+// envRead depends on the host environment.
+func envRead() string {
+	return os.Getenv("MARIOH_SEED") // want `os.Getenv makes reconstruction depend on the host environment`
+}
+
+// envLookup depends on the host environment too.
+func envLookup() (string, bool) {
+	return os.LookupEnv("MARIOH_SEED") // want `os.LookupEnv makes reconstruction depend on the host environment`
+}
+
+// otherOS is fine: only the environment accessors are forbidden.
+func otherOS() string {
+	host, _ := os.Hostname()
+	return host
+}
+
+// justified carries a reasoned suppression.
+func justified() time.Time {
+	//lint:randsource timing for progress logs only, never in output
+	return time.Now()
+}
+
+// bareDirective has no justification, so it still reports.
+func bareDirective() time.Time {
+	//lint:randsource
+	return time.Now() // want "time.Now in a reconstruction path"
+}

@@ -15,20 +15,20 @@ import (
 type Metrics struct {
 	mu       sync.Mutex
 	start    time.Time
-	requests map[string]int64 // route → count
-	statuses map[int]int64    // HTTP status → count
-	inflight int64
-	jobs     map[string]int64 // submitted/succeeded/failed/cancelled
-	stages   map[string]*stageStat
+	requests map[string]int64      // guarded by mu; route → count
+	statuses map[int]int64         // guarded by mu; HTTP status → count
+	inflight int64                 // guarded by mu
+	jobs     map[string]int64      // guarded by mu; submitted/succeeded/failed/cancelled
+	stages   map[string]*stageStat // guarded by mu
 
-	shardedRuns     int64 // reconstructions that went through the shard engine
-	shardsProcessed int64 // total shards reconstructed across those runs
+	shardedRuns     int64 // guarded by mu; reconstructions that went through the shard engine
+	shardsProcessed int64 // guarded by mu; total shards reconstructed across those runs
 
-	sessionsCreated int64 // incremental sessions opened
-	sessionsEvicted int64 // sessions dropped by the LRU bound
-	sessionApplies  int64 // delta batches served by sessions
-	sessionDirty    int64 // components recomputed across those applies
-	sessionReused   int64 // components merged from the session cache instead
+	sessionsCreated int64 // guarded by mu; incremental sessions opened
+	sessionsEvicted int64 // guarded by mu; sessions dropped by the LRU bound
+	sessionApplies  int64 // guarded by mu; delta batches served by sessions
+	sessionDirty    int64 // guarded by mu; components recomputed across those applies
+	sessionReused   int64 // guarded by mu; components merged from the session cache instead
 }
 
 // stageStat accumulates wall-clock spent in one pipeline stage.

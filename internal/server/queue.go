@@ -61,16 +61,16 @@ type Job struct {
 	run runFunc
 
 	mu       sync.Mutex
-	status   JobStatus
-	err      error
-	result   any
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	events   []marioh.Progress
-	subs     map[chan marioh.Progress]struct{}
-	done     chan struct{}
-	runCtx   context.Context // the context the workload runs under; tests synchronize on it
+	status   JobStatus                         // guarded by mu
+	err      error                             // guarded by mu
+	result   any                               // guarded by mu
+	created  time.Time                         // guarded by mu
+	started  time.Time                         // guarded by mu
+	finished time.Time                         // guarded by mu
+	events   []marioh.Progress                 // guarded by mu
+	subs     map[chan marioh.Progress]struct{} // guarded by mu
+	done     chan struct{}                     // closed exactly once by finish (with mu held)
+	runCtx   context.Context                   // guarded by mu; the context the workload runs under, tests synchronize on it
 }
 
 // JobInfo is the JSON-serializable snapshot of a Job returned by the jobs
@@ -245,14 +245,14 @@ type Queue struct {
 	tasks chan queueTask
 
 	mu         sync.Mutex
-	byID       map[string]*Job
-	order      []string // insertion order for listings
-	nextID     int
-	history    int // terminal jobs retained for inspection
+	byID       map[string]*Job // guarded by mu
+	order      []string        // guarded by mu; insertion order for listings
+	nextID     int             // guarded by mu
+	history    int             // immutable after NewQueue; terminal jobs retained for inspection
 	root       context.Context
 	rootCancel context.CancelFunc
-	cancels    map[string]context.CancelFunc
-	closed     bool
+	cancels    map[string]context.CancelFunc // guarded by mu
+	closed     bool                          // guarded by mu
 
 	wg sync.WaitGroup
 }

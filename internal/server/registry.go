@@ -49,11 +49,11 @@ type Registry struct {
 	cap int
 
 	mu    sync.Mutex
-	raw   map[string][]byte // memory-only backing store (dir == "")
-	saved map[string]time.Time
-	meta  map[string]ModelInfo     // listing metadata, recorded at Put
-	cache map[string]*list.Element // name → lru element
-	lru   *list.List               // front = most recent; values are *cacheEntry
+	raw   map[string][]byte        // guarded by mu; memory-only backing store (dir == "")
+	saved map[string]time.Time     // guarded by mu
+	meta  map[string]ModelInfo     // guarded by mu; listing metadata, recorded at Put
+	cache map[string]*list.Element // guarded by mu; name → lru element
+	lru   *list.List               // guarded by mu; front = most recent, values are *cacheEntry
 }
 
 // cacheEntry pairs a decoded model with its registry name for LRU

@@ -88,6 +88,7 @@ func (c *Config) defaults() {
 // model registry and the metrics registry.
 type Server struct {
 	cfg      Config
+	base     context.Context // lifetime context captured by New; bounds the queue root, request contexts and the drain deadline
 	queue    *Queue
 	registry *Registry
 	metrics  *Metrics
@@ -100,9 +101,13 @@ type Server struct {
 	addr      string        // bound address; "" if listening failed
 }
 
-// New builds a Server (and its queue workers) from cfg. The queue lives
-// until Serve returns; a Server is single-use.
-func New(cfg Config) (*Server, error) {
+// New builds a Server (and its queue workers) from cfg. ctx is the
+// server's lifetime: cancelling it hard-stops every queued and running
+// job and every in-flight request — it must outlive graceful shutdown,
+// so pass the process context, not the signal context that triggers the
+// drain (Serve takes that one). The queue lives until Serve returns; a
+// Server is single-use.
+func New(ctx context.Context, cfg Config) (*Server, error) {
 	cfg.defaults()
 	reg, err := NewRegistry(cfg.ModelsDir, cfg.ModelCache)
 	if err != nil {
@@ -110,7 +115,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:       cfg,
-		queue:     NewQueue(context.Background(), cfg.Workers, cfg.QueueDepth, cfg.JobHistory),
+		base:      ctx,
+		queue:     NewQueue(ctx, cfg.Workers, cfg.QueueDepth, cfg.JobHistory),
 		registry:  reg,
 		metrics:   NewMetrics(),
 		sessions:  newSessionStore(cfg.SessionLimit),
@@ -280,7 +286,7 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 
 	httpSrv := &http.Server{
 		Handler:     s.Handler(),
-		BaseContext: func(net.Listener) context.Context { return context.Background() },
+		BaseContext: func(net.Listener) context.Context { return s.base },
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(l) }()
@@ -291,8 +297,12 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	case <-ctx.Done():
 	}
 
+	// The drain deadline derives from the lifetime context, not the
+	// (already cancelled) signal context that requested the shutdown:
+	// in-flight work gets the full timeout unless the process itself is
+	// being torn down.
 	s.cfg.Logf("mariohd: shutdown requested, draining (timeout %s)", s.cfg.ShutdownTimeout)
-	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+	drainCtx, cancel := context.WithTimeout(s.base, s.cfg.ShutdownTimeout)
 	defer cancel()
 
 	// Stop accepting requests and wait for in-flight ones (this includes

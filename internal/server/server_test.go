@@ -71,7 +71,7 @@ func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *Client) {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	s, err := New(cfg)
+	s, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

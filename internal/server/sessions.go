@@ -41,11 +41,12 @@ type serverSession struct {
 	pub atomic.Value // marioh.ProgressFunc
 
 	mu       sync.Mutex
-	lastUsed time.Time
-	lastJob  string
-	busy     bool
-	// stats is the last known snapshot, refreshed after every apply, so
-	// info() never blocks on the Session mutex behind a running apply.
+	lastUsed time.Time // guarded by mu
+	lastJob  string    // guarded by mu
+	busy     bool      // guarded by mu
+	// stats is the last known snapshot (guarded by mu), refreshed after
+	// every apply, so info() never blocks on the Session mutex behind a
+	// running apply.
 	stats marioh.SessionStats
 }
 
@@ -111,9 +112,9 @@ func (ss *serverSession) info() SessionInfo {
 // long-lived daemon's memory is bounded by limit live graphs + caches.
 type sessionStore struct {
 	mu     sync.Mutex
-	limit  int
-	nextID int
-	byID   map[string]*serverSession
+	limit  int                       // immutable after newSessionStore
+	nextID int                       // guarded by mu
+	byID   map[string]*serverSession // guarded by mu
 }
 
 func newSessionStore(limit int) *sessionStore {

@@ -322,7 +322,7 @@ type Reconstructor struct {
 	cfg config
 
 	mu    sync.RWMutex
-	model *Model
+	model *Model // guarded by mu
 }
 
 // New builds a Reconstructor from functional options. The zero-option call

@@ -59,7 +59,7 @@ func WriteDeltas(w io.Writer, ops []DeltaOp) error { return graph.WriteDeltas(w,
 // A Session is safe for concurrent use; Apply calls serialize.
 type Session struct {
 	mu  sync.Mutex
-	eng *incremental.Engine
+	eng *incremental.Engine // guarded by mu
 }
 
 // SessionStats is a snapshot of a Session's state.
