@@ -9,7 +9,7 @@ BENCH_SUBSTRATE ?= BenchmarkHasEdge|BenchmarkMaximalCliques|BenchmarkScoreClique
 # Flags for the bench-regression gate (CI overrides warn-only on pushes).
 BENCHDIFF_FLAGS ?= -warn-only
 
-.PHONY: all build fmt fmt-fix vet lint lint-triage test race smoke shard-check incr-check bench bench-substrate bench-json bench-json-force bench-regress check
+.PHONY: all build fmt fmt-fix vet lint lint-triage test race smoke shard-check incr-check crash-check bench bench-substrate bench-json bench-json-force bench-regress check
 
 all: check build
 
@@ -57,7 +57,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -run 'Batch|Cancel|Progress|Parallel|Server|Queue|Registry|Shard|RunTasks|Session|Engine' ./...
+	$(GO) test -race -run 'Batch|Cancel|Progress|Parallel|Server|Queue|Registry|Shard|RunTasks|Session|Engine|Durability|WAL|Snapshot' ./...
 
 # End-to-end mariohd smoke test: boot the daemon, round-trip a
 # reconstruction against a golden CLI run, exercise graceful shutdown.
@@ -78,6 +78,14 @@ shard-check:
 # session flow against a live mariohd).
 incr-check:
 	./scripts/incr-check.sh
+
+# Crash-recovery gate: SIGKILL a durable session replay at randomized
+# points, resume from the WAL + snapshots, and require the recovered
+# output byte-identical to a from-scratch serial golden (mirrored by the
+# CI crash-recovery job; smoke.sh repeats the kill -9 flow against a live
+# mariohd).
+crash-check:
+	./scripts/crash-check.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...

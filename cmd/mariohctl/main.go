@@ -118,6 +118,7 @@ commands:
   eval         compare a reconstruction against the ground truth
   demo         end-to-end run on one dataset, printing accuracy
   session      replay an edge-delta stream through an incremental session
+               (durable + crash-resumable with -dir / -resume; -session resumes a remote one)
                (in-process, or on a daemon with -server)
   mutate       apply an edge-delta stream to a graph file
   help         print this message

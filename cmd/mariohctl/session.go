@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"marioh"
@@ -72,15 +73,30 @@ func cmdSession(ctx context.Context, args []string) error {
 	verify := fs.Bool("verify", false, "after every batch, compare against a from-scratch rebuild (local only)")
 	keep := fs.Bool("keep", false, "keep the remote session instead of deleting it when done")
 	out := fs.String("out", "reconstructed.hg", "output hypergraph file (final state)")
+	dir := fs.String("dir", "", "durable session directory: WAL + snapshots, crash-recoverable (local only)")
+	resume := fs.Bool("resume", false, "resume the durable session in -dir instead of creating one")
+	sessionID := fs.String("session", "", "existing session ID to resume instead of creating one (remote only)")
+	snapEvery := fs.Int("snapshot-every", 0, "WAL records between engine snapshots for -dir sessions (0 = default)")
+	noFsync := fs.Bool("no-fsync", false, "skip fsync on WAL appends for -dir sessions (kill-safe, not power-loss-safe)")
 	sf := addServiceFlags(fs)
 	if err := parse(fs, args); err != nil {
 		return err
 	}
-	if *graphPath == "" {
-		return usageError{msg: "session: -graph is required"}
+	resuming := (*resume && *dir != "") || (*sessionID != "" && *base != "")
+	if *graphPath == "" && !resuming {
+		return usageError{msg: "session: -graph is required (unless resuming via -resume/-session)"}
 	}
 	if *verify && *base != "" {
 		return usageError{msg: "session: -verify needs the model locally; drop -server"}
+	}
+	if *dir != "" && *base != "" {
+		return usageError{msg: "session: -dir is local-only; the daemon persists sessions under its own -data-dir"}
+	}
+	if *resume && *dir == "" {
+		return usageError{msg: "session: -resume needs -dir (use -session <id> to resume a remote session)"}
+	}
+	if *sessionID != "" && *base == "" {
+		return usageError{msg: "session: -session resumes a remote session; it needs -server"}
 	}
 
 	var ops []marioh.DeltaOp
@@ -102,7 +118,7 @@ func cmdSession(ctx context.Context, args []string) error {
 			Shards:      *sf.shards,
 			ShardTarget: *sf.shardTarget,
 		}
-		return remoteSession(ctx, *base, *modelPath, *graphPath, spec, batches, *out, *keep)
+		return remoteSession(ctx, *base, *modelPath, *graphPath, *sessionID, spec, batches, *out, *keep)
 	}
 
 	mf, err := os.Open(*modelPath)
@@ -114,9 +130,11 @@ func cmdSession(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	g, err := readGraphFile(*graphPath)
-	if err != nil {
-		return err
+	var g *marioh.Graph
+	if *graphPath != "" {
+		if g, err = readGraphFile(*graphPath); err != nil {
+			return err
+		}
 	}
 	opts, err := sf.options(marioh.WithModel(model))
 	if err != nil {
@@ -126,12 +144,39 @@ func cmdSession(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	sess, err := marioh.OpenSession(r, g)
-	if err != nil {
-		return err
+	var sess *marioh.Session
+	switch {
+	case *dir != "" && (*resume || marioh.HasDurableSession(*dir)):
+		dopts := marioh.DurableOptions{Dir: *dir, NoFsync: *noFsync, SnapshotEvery: *snapEvery, Logf: logNotice}
+		if sess, err = marioh.ResumeSession(r, dopts); err != nil {
+			return err
+		}
+		st := sess.Stats()
+		fmt.Printf("resumed durable session in %s: %d applies, recovery %s (%d WAL records replayed)\n",
+			*dir, st.Applies, st.RecoveryOutcome, st.Replayed)
+		// A batch that reached the WAL before the crash was recovered;
+		// replay only the suffix the session never acknowledged.
+		if st.Applies >= len(batches) {
+			fmt.Printf("all %d batches already applied; re-emitting the final state\n", len(batches))
+			batches = [][]marioh.DeltaOp{nil}
+		} else if st.Applies > 0 {
+			fmt.Printf("skipping %d already-applied batches\n", st.Applies)
+			batches = batches[st.Applies:]
+		}
+	case *dir != "":
+		dopts := marioh.DurableOptions{Dir: *dir, NoFsync: *noFsync, SnapshotEvery: *snapEvery, Logf: logNotice}
+		if sess, err = marioh.OpenDurableSession(r, g, dopts); err != nil {
+			return err
+		}
+		fmt.Printf("opened durable session in %s\n", *dir)
+	default:
+		if sess, err = marioh.OpenSession(r, g); err != nil {
+			return err
+		}
 	}
+	defer sess.Close()
 
-	shadow := g.Clone()
+	shadow := sess.Graph()
 	var res *marioh.Result
 	for bi, b := range batches {
 		for _, op := range b {
@@ -174,6 +219,27 @@ func cmdSession(ctx context.Context, args []string) error {
 	return f.Close()
 }
 
+// skipApplied mirrors local resume semantics for a remote session: the
+// first n batches of the stream already landed, so replay only the
+// suffix — or a single empty batch re-emitting the final state when
+// everything landed.
+func skipApplied(batches [][]marioh.DeltaOp, n int) [][]marioh.DeltaOp {
+	if n >= len(batches) {
+		fmt.Printf("all %d batches already applied; re-emitting the final state\n", len(batches))
+		return [][]marioh.DeltaOp{nil}
+	}
+	if n > 0 {
+		fmt.Printf("skipping %d already-applied batches\n", n)
+		return batches[n:]
+	}
+	return batches
+}
+
+// logNotice surfaces durability recovery/degradation notices on stderr.
+func logNotice(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mariohctl: "+format+"\n", args...)
+}
+
 // applyOpTo replays one delta op onto a plain graph.
 func applyOpTo(g *marioh.Graph, op marioh.DeltaOp) {
 	top := op.U
@@ -191,18 +257,36 @@ func applyOpTo(g *marioh.Graph, op marioh.DeltaOp) {
 	}
 }
 
-// remoteSession drives the /v1/sessions API of a running daemon.
-func remoteSession(ctx context.Context, base, model, graphPath string, spec server.OptionSpec, batches [][]marioh.DeltaOp, out string, keep bool) error {
-	raw, err := os.ReadFile(graphPath)
-	if err != nil {
-		return err
-	}
+// remoteSession drives the /v1/sessions API of a running daemon. With a
+// sessionID it resumes that session (the daemon rehydrates a parked
+// durable session transparently) instead of creating one; every apply
+// carries a Seq guard so an ambiguous retry can never double-apply a
+// batch.
+func remoteSession(ctx context.Context, base, model, graphPath, sessionID string, spec server.OptionSpec, batches [][]marioh.DeltaOp, out string, keep bool) error {
 	c := server.NewClient(base)
-	info, err := c.CreateSession(ctx, server.SessionRequest{Model: model, Graph: string(raw), Options: spec})
-	if err != nil {
-		return err
+	var info server.SessionInfo
+	var err error
+	if sessionID != "" {
+		if info, err = c.Session(ctx, sessionID); err != nil {
+			return err
+		}
+		fmt.Printf("resumed session %s (%d nodes, %d edges, %d applies", info.ID, info.Nodes, info.Edges, info.Applies)
+		if info.Recovery != "" {
+			fmt.Printf(", recovery %s", info.Recovery)
+		}
+		fmt.Printf(")\n")
+		keep = true // an attached session is not ours to delete
+		batches = skipApplied(batches, info.Applies)
+	} else {
+		raw, err := os.ReadFile(graphPath)
+		if err != nil {
+			return err
+		}
+		if info, err = c.CreateSession(ctx, server.SessionRequest{Model: model, Graph: string(raw), Options: spec}); err != nil {
+			return err
+		}
+		fmt.Printf("opened session %s (%d nodes, %d edges)\n", info.ID, info.Nodes, info.Edges)
 	}
-	fmt.Printf("opened session %s (%d nodes, %d edges)\n", info.ID, info.Nodes, info.Edges)
 	if !keep {
 		defer func() {
 			cleanupCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -213,13 +297,36 @@ func remoteSession(ctx context.Context, base, model, graphPath string, spec serv
 		}()
 	}
 	var last server.ReconstructResult
-	for bi, b := range batches {
+	applied := info.Applies
+	resynced := false
+	for bi := 0; bi < len(batches); bi++ {
+		b := batches[bi]
 		var buf bytes.Buffer
 		if err := marioh.WriteDeltas(&buf, b); err != nil {
 			return err
 		}
-		resp, job, err := c.ApplySession(ctx, info.ID, server.SessionApplyRequest{Deltas: buf.String()})
+		seq := applied + bi
+		resp, job, err := c.ApplySession(ctx, info.ID, server.SessionApplyRequest{Deltas: buf.String(), Seq: &seq})
 		if err != nil {
+			// A parked session's meta can run one apply behind a crash; the
+			// seq guard catches the stale counter instead of double-applying.
+			// The conflict loaded the session server-side, so one re-read
+			// yields the true counter — re-slice and continue.
+			if sessionID != "" && bi == 0 && !resynced && strings.Contains(err.Error(), "seq guard") {
+				resynced = true
+				fresh, ferr := c.Session(ctx, sessionID)
+				if ferr != nil {
+					return ferr
+				}
+				if extra := fresh.Applies - applied; extra > 0 {
+					fmt.Printf("session advanced to %d applies since the parked listing; resyncing\n", fresh.Applies)
+					batches = skipApplied(batches, extra)
+					applied = fresh.Applies
+					bi = -1
+					continue
+				}
+				return err
+			}
 			return err
 		}
 		if job != nil {

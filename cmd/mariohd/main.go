@@ -39,6 +39,9 @@ func main() {
 	modelCache := flag.Int("model-cache", 8, "decoded-model LRU cache size")
 	syncLimit := flag.Int("sync-edge-limit", 20000, "largest target (edges) served synchronously by /v1/reconstruct")
 	sessionLimit := flag.Int("session-limit", 16, "open incremental sessions kept (least-recently-used evicted past it)")
+	dataDir := flag.String("data-dir", "", "directory persisting durable sessions (WAL + snapshots; empty = in-memory sessions)")
+	walFsync := flag.Bool("wal-fsync", true, "fsync the session WAL before acknowledging each apply")
+	snapshotEvery := flag.Int("snapshot-every", 8, "WAL records between engine snapshots for durable sessions")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -64,6 +67,9 @@ func main() {
 		ModelCache:      *modelCache,
 		SyncEdgeLimit:   *syncLimit,
 		SessionLimit:    *sessionLimit,
+		DataDir:         *dataDir,
+		WALNoFsync:      !*walFsync,
+		SnapshotEvery:   *snapshotEvery,
 		ShutdownTimeout: *shutdownTimeout,
 	})
 	if err != nil {

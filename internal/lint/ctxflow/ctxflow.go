@@ -40,8 +40,8 @@ construction). Annotate deliberate exceptions with
 //lint:ctxflow <reason>.`
 
 // DefaultPackages are the context-threaded layers: the public API
-// package plus the server and incremental engines.
-const DefaultPackages = "marioh,internal/server,internal/incremental"
+// package plus the server, incremental and durability engines.
+const DefaultPackages = "marioh,internal/server,internal/incremental,internal/durability"
 
 const name = "ctxflow"
 

@@ -192,6 +192,9 @@ type Health struct {
 	QueueDepth    int     `json:"queue_depth"`
 	Models        int     `json:"models"`
 	Sessions      int     `json:"sessions"`
+	// Parked counts durable sessions currently flushed to disk (not in
+	// Sessions, which counts loaded engines).
+	Parked int `json:"parked,omitempty"`
 }
 
 // SessionRequest is the body of POST /v1/sessions: open an incremental
@@ -219,6 +222,16 @@ type SessionInfo struct {
 	LastJob   string    `json:"last_job,omitempty"`
 	Created   time.Time `json:"created"`
 	LastUsed  time.Time `json:"last_used"`
+	// Durable reports whether the session persists under the daemon's
+	// data dir; Parked means its engine is currently flushed to disk (it
+	// rehydrates transparently on the next apply).
+	Durable bool `json:"durable,omitempty"`
+	Parked  bool `json:"parked,omitempty"`
+	// Recovery classifies the session's last crash recovery ("clean",
+	// "torn-tail", "cache-dropped", "snapshot-fallback", "lost-suffix");
+	// Replayed is how many WAL records that recovery replayed.
+	Recovery string `json:"recovery,omitempty"`
+	Replayed int    `json:"replayed,omitempty"`
 }
 
 // SessionApplyRequest is the body of POST /v1/sessions/{id}/apply. Deltas
@@ -239,6 +252,12 @@ type SessionInfo struct {
 type SessionApplyRequest struct {
 	Deltas string `json:"deltas"`
 	Async  *bool  `json:"async,omitempty"`
+	// Seq, when set, asserts the session's applies counter before this
+	// batch; a mismatch answers 409 Conflict without mutating anything.
+	// This is the safe way to retry after an ambiguous failure: assert
+	// the count you last observed, and a 409 tells you the batch already
+	// landed (re-read the session instead of re-sending).
+	Seq *int `json:"seq,omitempty"`
 }
 
 // SessionApplyResponse is the 200 body of a synchronous apply;

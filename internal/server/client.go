@@ -4,21 +4,49 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
+)
+
+// Retry defaults; see Client.MaxRetries and Client.RetryBackoff.
+const (
+	defaultMaxRetries   = 3
+	defaultRetryBackoff = 100 * time.Millisecond
 )
 
 // Client is a thin Go client for a running mariohd: it speaks the /v1 API
 // and backs the mariohctl remote subcommands and examples/client.
+//
+// Transient failures are retried with exponential backoff and jitter:
+// requests that provably never reached a handler (connection refused and
+// other dial failures) are retried for every method, while failures that
+// may have landed (5xx responses, EOF mid-body and other transport
+// errors after the request was sent) are retried only for idempotent
+// methods — a retried POST could double-apply a non-idempotent delta
+// batch. The retry budget is bounded by MaxRetries and the context
+// deadline.
 type Client struct {
 	// Base is the server's base URL, e.g. "http://127.0.0.1:8080".
 	Base string
 	// HTTP overrides the transport; nil uses http.DefaultClient.
 	HTTP *http.Client
+	// MaxRetries bounds how many times a transiently-failed request is
+	// reissued: 0 means the default (3), negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the first retry delay; it doubles per attempt with
+	// ±50% jitter. 0 means the default (100ms).
+	RetryBackoff time.Duration
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand // guarded by jitterMu; lazily seeded
 }
 
 // NewClient builds a client for the given base URL.
@@ -33,42 +61,133 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// retries resolves the retry budget.
+func (c *Client) retries() int {
+	switch {
+	case c.MaxRetries < 0:
+		return 0
+	case c.MaxRetries == 0:
+		return defaultMaxRetries
+	default:
+		return c.MaxRetries
+	}
+}
+
+// backoff returns the sleep before retry attempt (1-based), doubling per
+// attempt with ±50% jitter so a fleet of retrying clients doesn't
+// stampede a restarting daemon.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = defaultRetryBackoff
+	}
+	d := base << (attempt - 1)
+	c.jitterMu.Lock()
+	if c.jitter == nil {
+		c.jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	f := 0.5 + c.jitter.Float64() // ×[0.5, 1.5)
+	c.jitterMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// idempotentMethod reports whether a request may be retried even when
+// the first attempt might have been processed.
+func idempotentMethod(method string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodPut, http.MethodDelete:
+		return true
+	}
+	return false
+}
+
+// errNeverSent reports whether a transport error happened before the
+// request could have reached a handler (dial failures: connection
+// refused, no such host, ...), making a retry safe for any method.
+func errNeverSent(err error) bool {
+	var opErr *net.OpError
+	if errors.As(err, &opErr) {
+		return opErr.Op == "dial"
+	}
+	return false
+}
+
+// retryableStatus reports whether a response status signals a transient
+// server-side condition.
+func retryableStatus(status int) bool {
+	return status >= 500
+}
+
 // doRaw issues a request with a JSON body (nil for none) and returns the
-// response status and raw body. Non-2xx responses are returned as errors
+// response status and raw body, retrying transient failures per the
+// client's retry policy. Non-2xx responses are returned as errors
 // carrying the server's error envelope.
 func (c *Client) doRaw(ctx context.Context, method, path string, body any) (int, []byte, error) {
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
 		raw, err := json.Marshal(body)
 		if err != nil {
 			return 0, nil, err
 		}
-		rd = bytes.NewReader(raw)
+		payload = raw
+	}
+	hdr := http.Header{}
+	if body != nil {
+		hdr.Set("Content-Type", "application/json")
+	}
+	return c.doRetry(ctx, method, path, payload, hdr)
+}
+
+// doRetry is the shared retrying request loop under doRaw, PushModel and
+// PullModel. payload may be nil for bodyless requests.
+func (c *Client) doRetry(ctx context.Context, method, path string, payload []byte, hdr http.Header) (int, []byte, error) {
+	budget := c.retries()
+	for attempt := 0; ; attempt++ {
+		status, raw, err, transient := c.attempt(ctx, method, path, payload, hdr)
+		retryable := transient && (idempotentMethod(method) || (err != nil && errNeverSent(err)))
+		if !retryable || attempt >= budget || ctx.Err() != nil {
+			return status, raw, err
+		}
+		select {
+		case <-ctx.Done():
+			return status, raw, err
+		case <-time.After(c.backoff(attempt + 1)):
+		}
+	}
+}
+
+// attempt performs one request; transient reports whether the failure is
+// the retryable kind (transport error or 5xx).
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, hdr http.Header) (status int, raw []byte, err error, transient bool) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, err, false
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header[k] = v
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, err, true
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
+	raw, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return resp.StatusCode, nil, err
+		// EOF mid-body: the connection died while streaming the response.
+		return resp.StatusCode, nil, err, true
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var apiErr apiError
 		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
-			return resp.StatusCode, raw, fmt.Errorf("server: %s %s: %s (%s)", method, path, apiErr.Error, resp.Status)
+			return resp.StatusCode, raw, fmt.Errorf("server: %s %s: %s (%s)", method, path, apiErr.Error, resp.Status), retryableStatus(resp.StatusCode)
 		}
-		return resp.StatusCode, raw, fmt.Errorf("server: %s %s: %s", method, path, resp.Status)
+		return resp.StatusCode, raw, fmt.Errorf("server: %s %s: %s", method, path, resp.Status), retryableStatus(resp.StatusCode)
 	}
-	return resp.StatusCode, raw, nil
+	return resp.StatusCode, raw, nil, false
 }
 
 // do issues a request and decodes the JSON response into out (nil to
@@ -243,30 +362,15 @@ func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
 	return out, err
 }
 
-// PushModel uploads a serialized model under name.
+// PushModel uploads a serialized model under name. PUT is idempotent, so
+// transient failures retry per the client's retry policy.
 func (c *Client) PushModel(ctx context.Context, name string, raw []byte) (ModelInfo, error) {
 	var info ModelInfo
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
-		c.Base+"/v1/models/"+url.PathEscape(name), bytes.NewReader(raw))
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "application/json")
+	_, body, err := c.doRetry(ctx, http.MethodPut, "/v1/models/"+url.PathEscape(name), raw, hdr)
 	if err != nil {
 		return info, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return info, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return info, err
-	}
-	if resp.StatusCode != http.StatusCreated {
-		var apiErr apiError
-		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
-			return info, fmt.Errorf("server: push model: %s (%s)", apiErr.Error, resp.Status)
-		}
-		return info, fmt.Errorf("server: push model: %s", resp.Status)
 	}
 	err = json.Unmarshal(body, &info)
 	return info, err
@@ -274,28 +378,8 @@ func (c *Client) PushModel(ctx context.Context, name string, raw []byte) (ModelI
 
 // PullModel downloads a model's serialized JSON.
 func (c *Client) PullModel(ctx context.Context, name string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.Base+"/v1/models/"+url.PathEscape(name), nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		var apiErr apiError
-		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
-			return nil, fmt.Errorf("server: pull model: %s (%s)", apiErr.Error, resp.Status)
-		}
-		return nil, fmt.Errorf("server: pull model: %s", resp.Status)
-	}
-	return raw, nil
+	_, raw, err := c.doRetry(ctx, http.MethodGet, "/v1/models/"+url.PathEscape(name), nil, http.Header{})
+	return raw, err
 }
 
 // DeleteModel removes a registry entry.

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler answers 503 for the first fail requests, then delegates.
+type flakyHandler struct {
+	fail  int32
+	seen  int32
+	inner http.Handler
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := atomic.AddInt32(&h.seen, 1)
+	if n <= atomic.LoadInt32(&h.fail) {
+		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+func TestClientRetriesTransient5xx(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	h := &flakyHandler{fail: 2, inner: s.Handler()}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.RetryBackoff = time.Millisecond
+	health, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health after transient 503s: %v", err)
+	}
+	if health.Status != "ok" {
+		t.Fatalf("health status = %q, want ok", health.Status)
+	}
+	if got := atomic.LoadInt32(&h.seen); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	h := &flakyHandler{fail: 100, inner: s.Handler()}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.MaxRetries = 2
+	c.RetryBackoff = time.Millisecond
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("Health succeeded against a permanently-503 server")
+	}
+	if got := atomic.LoadInt32(&h.seen); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestClientNoRetryNonIdempotent5xx(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	h := &flakyHandler{fail: 1, inner: s.Handler()}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.RetryBackoff = time.Millisecond
+	_, _, err := c.ApplySession(context.Background(), "s-000001", SessionApplyRequest{})
+	if err == nil {
+		t.Fatal("POST apply succeeded despite the 503")
+	}
+	if got := atomic.LoadInt32(&h.seen); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (a 503 POST must not be retried)", got)
+	}
+}
+
+func TestClientRetriesConnectionRefusedPOST(t *testing.T) {
+	// Reserve a port by binding and closing a listener, then boot the real
+	// server there after a delay — the POST's first attempts are refused.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	s, _ := newTestServer(t, nil)
+	var seen int32
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&seen, 1)
+		s.Handler().ServeHTTP(w, r)
+	})
+	done := make(chan struct{})
+	var late *httptest.Server
+	go func() {
+		defer close(done)
+		time.Sleep(50 * time.Millisecond)
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			return
+		}
+		late = &httptest.Server{Listener: l, Config: &http.Server{Handler: handler}}
+		late.Start()
+	}()
+	t.Cleanup(func() {
+		<-done
+		if late != nil {
+			late.Close()
+		}
+	})
+
+	c := NewClient("http://" + addr)
+	c.MaxRetries = 10
+	c.RetryBackoff = 20 * time.Millisecond
+	// POST /v1/train is non-idempotent, but connection-refused means the
+	// request never reached a handler, so it retries anyway.
+	if _, err := c.Train(context.Background(), TrainRequest{Source: hypergraphText(t, testSource(t))}); err != nil {
+		t.Fatalf("Train through daemon restart window: %v", err)
+	}
+	if got := atomic.LoadInt32(&seen); got != 1 {
+		t.Fatalf("server ran %d train submissions, want exactly 1", got)
+	}
+}
+
+func TestClientRetriesDisabled(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	h := &flakyHandler{fail: 1, inner: s.Handler()}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.MaxRetries = -1
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("Health succeeded with retries disabled against a first-hit 503")
+	}
+	if got := atomic.LoadInt32(&h.seen); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 with MaxRetries -1", got)
+	}
+}

@@ -481,6 +481,7 @@ func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 
 // handleHealth implements GET /healthz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	loaded, parked := s.sessions.Counts()
 	s.writeJSON(w, http.StatusOK, Health{
 		Status:        "ok",
 		Version:       marioh.Version,
@@ -488,12 +489,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Workers:       s.cfg.Workers,
 		QueueDepth:    s.queue.Depth(),
 		Models:        s.registry.Len(),
-		Sessions:      s.sessions.Len(),
+		Sessions:      loaded,
+		Parked:        parked,
 	})
 }
 
 // handleMetrics implements GET /metrics in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.Render(w, s.queue.Depth(), s.queue.Counts(), s.sessions.Len())
+	loaded, parked := s.sessions.Counts()
+	s.metrics.Render(w, s.queue.Depth(), s.queue.Counts(), loaded, parked)
 }

@@ -29,6 +29,15 @@ type Metrics struct {
 	sessionApplies  int64 // guarded by mu; delta batches served by sessions
 	sessionDirty    int64 // guarded by mu; components recomputed across those applies
 	sessionReused   int64 // guarded by mu; components merged from the session cache instead
+
+	evictedPersisted int64 // guarded by mu; LRU evictions that parked durable state to disk
+	evictedDropped   int64 // guarded by mu; LRU evictions that discarded a memory-only session
+
+	walAppends     int64            // guarded by mu; WAL records appended across durable sessions
+	walBytes       int64            // guarded by mu; framed WAL bytes appended
+	snapshotWrites int64            // guarded by mu; engine snapshots written
+	recoveries     map[string]int64 // guarded by mu; recovery outcome → count
+	recoveryReplay int64            // guarded by mu; WAL records replayed across recoveries
 }
 
 // stageStat accumulates wall-clock spent in one pipeline stage.
@@ -41,11 +50,12 @@ type stageStat struct {
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		start:    time.Now(),
-		requests: map[string]int64{},
-		statuses: map[int]int64{},
-		jobs:     map[string]int64{},
-		stages:   map[string]*stageStat{},
+		start:      time.Now(),
+		requests:   map[string]int64{},
+		statuses:   map[int]int64{},
+		jobs:       map[string]int64{},
+		stages:     map[string]*stageStat{},
+		recoveries: map[string]int64{},
 	}
 }
 
@@ -79,13 +89,45 @@ func (m *Metrics) ShardRun(n int) {
 	m.shardsProcessed += int64(n)
 }
 
-// SessionOpen records one opened session and how many the LRU bound
-// evicted to make room.
-func (m *Metrics) SessionOpen(evicted int) {
+// SessionOpen records one opened session.
+func (m *Metrics) SessionOpen() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.sessionsCreated++
-	m.sessionsEvicted += int64(evicted)
+}
+
+// SessionEvicted records one LRU eviction; persisted says whether the
+// session's state was parked to disk (durable) or discarded.
+func (m *Metrics) SessionEvicted(persisted bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionsEvicted++
+	if persisted {
+		m.evictedPersisted++
+	} else {
+		m.evictedDropped++
+	}
+}
+
+// Durability accumulates WAL and snapshot activity harvested from the
+// durable sessions' own counters.
+func (m *Metrics) Durability(walRecords, walBytes, snapshots int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.walAppends += walRecords
+	m.walBytes += walBytes
+	m.snapshotWrites += snapshots
+}
+
+// Recovery records one durable-session recovery and its replay length.
+func (m *Metrics) Recovery(outcome string, replayed int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if outcome == "" {
+		outcome = "clean"
+	}
+	m.recoveries[outcome]++
+	m.recoveryReplay += int64(replayed)
 }
 
 // SessionApply records one served delta batch: dirty components were
@@ -118,7 +160,7 @@ func (m *Metrics) Stage(name string, d time.Duration) {
 // Render writes the Prometheus text exposition. queueDepth, jobCounts and
 // openSessions are sampled by the caller from the live queue and session
 // store.
-func (m *Metrics) Render(w io.Writer, queueDepth int, jobCounts map[JobStatus]int, openSessions int) {
+func (m *Metrics) Render(w io.Writer, queueDepth int, jobCounts map[JobStatus]int, openSessions, parkedSessions int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -169,6 +211,24 @@ func (m *Metrics) Render(w io.Writer, queueDepth int, jobCounts map[JobStatus]in
 	fmt.Fprintf(w, "marioh_session_dirty_components_total %d\n", m.sessionDirty)
 	fmt.Fprintf(w, "# TYPE marioh_session_reused_components_total counter\n")
 	fmt.Fprintf(w, "marioh_session_reused_components_total %d\n", m.sessionReused)
+	fmt.Fprintf(w, "# TYPE marioh_session_evicted_total counter\n")
+	fmt.Fprintf(w, "marioh_session_evicted_total{persisted=\"false\"} %d\n", m.evictedDropped)
+	fmt.Fprintf(w, "marioh_session_evicted_total{persisted=\"true\"} %d\n", m.evictedPersisted)
+	fmt.Fprintf(w, "# TYPE marioh_sessions_parked gauge\n")
+	fmt.Fprintf(w, "marioh_sessions_parked %d\n", parkedSessions)
+
+	fmt.Fprintf(w, "# TYPE marioh_wal_appends_total counter\n")
+	fmt.Fprintf(w, "marioh_wal_appends_total %d\n", m.walAppends)
+	fmt.Fprintf(w, "# TYPE marioh_wal_bytes_total counter\n")
+	fmt.Fprintf(w, "marioh_wal_bytes_total %d\n", m.walBytes)
+	fmt.Fprintf(w, "# TYPE marioh_snapshot_writes_total counter\n")
+	fmt.Fprintf(w, "marioh_snapshot_writes_total %d\n", m.snapshotWrites)
+	fmt.Fprintf(w, "# TYPE marioh_recovery_total counter\n")
+	for _, outcome := range sortedKeys(m.recoveries) {
+		fmt.Fprintf(w, "marioh_recovery_total{outcome=%q} %d\n", outcome, m.recoveries[outcome])
+	}
+	fmt.Fprintf(w, "# TYPE marioh_recovery_replayed_total counter\n")
+	fmt.Fprintf(w, "marioh_recovery_replayed_total %d\n", m.recoveryReplay)
 
 	fmt.Fprintf(w, "# TYPE marioh_stage_seconds_total counter\n")
 	for _, name := range sortedStageKeys(m.stages) {

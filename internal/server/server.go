@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"marioh"
+	"marioh/internal/durability"
 )
 
 // Config are mariohd's knobs; the zero value serves on :8080 with
@@ -40,8 +41,21 @@ type Config struct {
 	SyncEdgeLimit int
 	// SessionLimit bounds how many incremental reconstruction sessions
 	// stay open; opening one beyond it evicts the least-recently-used
-	// session. Default 16.
+	// session (parked to disk when DataDir is set, dropped otherwise).
+	// Default 16.
 	SessionLimit int
+	// DataDir makes sessions durable: each session write-ahead-logs its
+	// delta batches and snapshots its engine under DataDir/sessions/<id>,
+	// surviving daemon restarts and crashes. Empty keeps sessions in
+	// memory only.
+	DataDir string
+	// WALNoFsync skips fsync on session WAL appends and snapshot renames:
+	// sessions still survive a process kill but a power loss may drop
+	// acknowledged batches.
+	WALNoFsync bool
+	// SnapshotEvery is the number of applies between session engine
+	// snapshots; 0 means the library default (8).
+	SnapshotEvery int
 	// ShutdownTimeout bounds graceful shutdown: in-flight jobs get this
 	// long to drain before their contexts are cancelled. Default 30s.
 	ShutdownTimeout time.Duration
@@ -123,6 +137,9 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
 		addrReady: make(chan struct{}),
+	}
+	if cfg.DataDir != "" {
+		s.loadParkedSessions()
 	}
 	s.routes()
 	return s, nil
@@ -238,11 +255,13 @@ func errStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrSessionBusy):
 		return http.StatusConflict
+	case errors.Is(err, ErrSeqMismatch):
+		return http.StatusConflict
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, ErrStorage):
+	case errors.Is(err, ErrStorage), errors.Is(err, durability.ErrStorage):
 		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
@@ -313,7 +332,15 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	// Then drain the queued/running async jobs.
 	if err := s.queue.Drain(drainCtx); err != nil {
 		s.cfg.Logf("mariohd: queue drain aborted: %v", err)
+		if n := s.parkSessions(); n > 0 {
+			s.cfg.Logf("mariohd: parked %d durable session(s)", n)
+		}
 		return fmt.Errorf("server: drain: %w", err)
+	}
+	// Park durable sessions last (their final snapshots make the next
+	// start a zero-replay resume).
+	if n := s.parkSessions(); n > 0 {
+		s.cfg.Logf("mariohd: parked %d durable session(s)", n)
 	}
 	counts := s.queue.Counts()
 	s.cfg.Logf("mariohd: drained cleanly (%d succeeded, %d failed, %d cancelled), exiting",

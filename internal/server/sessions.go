@@ -2,9 +2,13 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -12,6 +16,7 @@ import (
 	"time"
 
 	"marioh"
+	"marioh/internal/durability"
 )
 
 // JobSession is the job kind of an asynchronous session apply.
@@ -24,14 +29,46 @@ const JobSession JobKind = "session"
 // the client retries (or waits on the in-flight job).
 var ErrSessionBusy = errors.New("server: session has an apply in flight")
 
+// ErrSeqMismatch is returned when an apply carries a seq guard that does
+// not match the session's applies counter; handlers map it to 409.
+// Because delta batches are not idempotent, the guard is how a client
+// resumes after an ambiguous failure without double-applying.
+var ErrSeqMismatch = errors.New("server: seq guard does not match the session's applies counter")
+
+// sessionMetaName is the per-session metadata file a durable session
+// directory carries alongside its WAL and snapshots.
+const sessionMetaName = "meta.json"
+
+// sessionMeta is the durable identity of a server session: everything
+// needed to rebuild its Reconstructor after a restart, plus the last
+// known stats so listings don't have to rehydrate the engine.
+type sessionMeta struct {
+	ID       string     `json:"id"`
+	Model    string     `json:"model"`
+	Options  OptionSpec `json:"options"`
+	Created  time.Time  `json:"created"`
+	LastUsed time.Time  `json:"last_used"`
+
+	Nodes      int `json:"nodes"`
+	Edges      int `json:"edges"`
+	Components int `json:"components"`
+	Applies    int `json:"applies"`
+	LastDirty  int `json:"last_dirty"`
+}
+
 // serverSession is one incremental reconstruction session hosted by the
-// daemon: a marioh.Session plus bookkeeping for listings and LRU
-// eviction.
+// daemon: a marioh.Session plus bookkeeping for listings, LRU eviction
+// and (when the daemon runs with a data dir) durable park/restore.
+//
+// Lock ordering: loadMu → sessionStore.mu → mu. loadMu serializes the
+// load/park transitions (and is held across the whole restore, so only
+// one goroutine rehydrates); mu guards the hot fields.
 type serverSession struct {
 	ID    string
 	Model string
+	spec  OptionSpec // options the session was created with (rebuilds the Reconstructor at restore)
+	dir   string     // durable session directory; "" = memory-only
 
-	sess    *marioh.Session
 	created time.Time
 
 	// pub is the progress sink of the apply currently running (fanning
@@ -40,14 +77,33 @@ type serverSession struct {
 	// busy guard — at most one apply runs per session.
 	pub atomic.Value // marioh.ProgressFunc
 
+	loadMu sync.Mutex // serializes park/restore; see lock ordering above
+
 	mu       sync.Mutex
-	lastUsed time.Time // guarded by mu
-	lastJob  string    // guarded by mu
-	busy     bool      // guarded by mu
+	sess     *marioh.Session // guarded by mu (swapped under loadMu); nil = parked
+	lastUsed time.Time       // guarded by mu
+	lastJob  string          // guarded by mu
+	busy     bool            // guarded by mu
 	// stats is the last known snapshot (guarded by mu), refreshed after
 	// every apply, so info() never blocks on the Session mutex behind a
-	// running apply.
+	// running apply. For a parked session it carries the meta.json values.
 	stats marioh.SessionStats
+	// recovery/replayed describe the last restore of a durable session
+	// (guarded by mu).
+	recovery string
+	replayed int
+	// WAL/snapshot counter baselines for metric deltas (guarded by mu).
+	durWALRecords, durWALBytes, durSnapshots int64
+}
+
+// durable reports whether the session persists under a data dir.
+func (ss *serverSession) durable() bool { return ss.dir != "" }
+
+// loaded reports whether the session's engine is resident in memory.
+func (ss *serverSession) loaded() bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.sess != nil
 }
 
 // acquire claims the session's single apply slot.
@@ -63,9 +119,17 @@ func (ss *serverSession) acquire() error {
 
 // release frees the apply slot and refreshes the cached stats snapshot.
 func (ss *serverSession) release() {
-	st := ss.sess.Stats()
 	ss.mu.Lock()
-	ss.stats = st
+	sess := ss.sess
+	ss.mu.Unlock()
+	var st marioh.SessionStats
+	if sess != nil {
+		st = sess.Stats()
+	}
+	ss.mu.Lock()
+	if sess != nil {
+		ss.stats = st
+	}
 	ss.busy = false
 	ss.mu.Unlock()
 }
@@ -104,12 +168,47 @@ func (ss *serverSession) info() SessionInfo {
 		LastJob:    ss.lastJob,
 		Created:    ss.created,
 		LastUsed:   ss.lastUsed,
+		Durable:    ss.durable(),
+		Parked:     ss.sess == nil,
+		Recovery:   ss.recovery,
+		Replayed:   ss.replayed,
 	}
 }
 
+// meta snapshots the session's durable metadata.
+func (ss *serverSession) meta() sessionMeta {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return sessionMeta{
+		ID:         ss.ID,
+		Model:      ss.Model,
+		Options:    ss.spec,
+		Created:    ss.created,
+		LastUsed:   ss.lastUsed,
+		Nodes:      ss.stats.Nodes,
+		Edges:      ss.stats.Edges,
+		Components: ss.stats.Components,
+		Applies:    ss.stats.Applies,
+		LastDirty:  ss.stats.LastDirty,
+	}
+}
+
+// writeMeta persists meta.json in the session directory with the
+// registry's atomic-rename pattern.
+func (ss *serverSession) writeMeta() error {
+	m := ss.meta()
+	return durability.WriteFileAtomic(filepath.Join(ss.dir, sessionMetaName), true, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}
+
 // sessionStore owns the daemon's sessions with LRU eviction: opening a
-// session beyond the limit evicts the least-recently-used one, so a
-// long-lived daemon's memory is bounded by limit live graphs + caches.
+// session beyond the limit evicts the least-recently-used loaded one —
+// durable sessions are parked to disk (and rehydrate on next use),
+// memory-only sessions are dropped — so a long-lived daemon's memory is
+// bounded by limit live graphs + caches.
 type sessionStore struct {
 	mu     sync.Mutex
 	limit  int                       // immutable after newSessionStore
@@ -124,39 +223,32 @@ func newSessionStore(limit int) *sessionStore {
 	return &sessionStore{limit: limit, byID: map[string]*serverSession{}}
 }
 
-// Add registers a session, evicting LRU entries beyond the limit. It
-// returns the ids evicted (for metrics/logs).
-func (st *sessionStore) Add(ss *serverSession) []string {
+// Reserve allocates the next session id (so a durable session can name
+// its directory before it is installed).
+func (st *sessionStore) Reserve() string {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.nextID++
-	ss.ID = fmt.Sprintf("s-%06d", st.nextID)
-	st.byID[ss.ID] = ss
-	var evicted []string
-	for len(st.byID) > st.limit {
-		var lru *serverSession
-		for _, cand := range st.byID {
-			if cand == ss {
-				continue
-			}
-			if lru == nil || cand.lastStamp().Before(lru.lastStamp()) {
-				lru = cand
-			}
-		}
-		if lru == nil {
-			break
-		}
-		delete(st.byID, lru.ID)
-		evicted = append(evicted, lru.ID)
-	}
-	return evicted
+	return fmt.Sprintf("s-%06d", st.nextID)
 }
 
-// lastStamp returns the LRU ordering key.
-func (ss *serverSession) lastStamp() time.Time {
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
-	return ss.lastUsed
+// Install registers a session under its reserved id.
+func (st *sessionStore) Install(ss *serverSession) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.byID[ss.ID] = ss
+}
+
+// Register adds a session recovered from disk at startup, keeping the id
+// counter ahead of every recovered id.
+func (st *sessionStore) Register(ss *serverSession) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var n int
+	if _, err := fmt.Sscanf(ss.ID, "s-%d", &n); err == nil && n > st.nextID {
+		st.nextID = n
+	}
+	st.byID[ss.ID] = ss
 }
 
 // Get looks a session up by id.
@@ -167,16 +259,17 @@ func (st *sessionStore) Get(id string) (*serverSession, bool) {
 	return ss, ok
 }
 
-// Delete removes a session; an in-flight apply keeps its own reference
-// and finishes harmlessly.
-func (st *sessionStore) Delete(id string) bool {
+// Remove unregisters a session; an in-flight apply keeps its own
+// reference and finishes harmlessly.
+func (st *sessionStore) Remove(id string) (*serverSession, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if _, ok := st.byID[id]; !ok {
-		return false
+	ss, ok := st.byID[id]
+	if !ok {
+		return nil, false
 	}
 	delete(st.byID, id)
-	return true
+	return ss, true
 }
 
 // List returns every session in creation order (ids are zero-padded, so
@@ -192,15 +285,279 @@ func (st *sessionStore) List() []*serverSession {
 	return out
 }
 
-// Len returns the number of live sessions.
-func (st *sessionStore) Len() int {
+// Counts returns how many sessions are loaded in memory and how many are
+// parked on disk.
+func (st *sessionStore) Counts() (loaded, parked int) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	return len(st.byID)
+	sessions := make([]*serverSession, 0, len(st.byID))
+	for _, ss := range st.byID {
+		sessions = append(sessions, ss)
+	}
+	st.mu.Unlock()
+	for _, ss := range sessions {
+		if ss.loaded() {
+			loaded++
+		} else {
+			parked++
+		}
+	}
+	return loaded, parked
+}
+
+// lruVictim picks the least-recently-used loaded, non-busy session not
+// in skip — but only when the loaded count exceeds the limit.
+func (st *sessionStore) lruVictim(skip map[string]bool) *serverSession {
+	st.mu.Lock()
+	sessions := make([]*serverSession, 0, len(st.byID))
+	for _, ss := range st.byID {
+		sessions = append(sessions, ss)
+	}
+	st.mu.Unlock()
+
+	loaded := 0
+	var lru *serverSession
+	var lruStamp time.Time
+	for _, cand := range sessions {
+		cand.mu.Lock()
+		ok := cand.sess != nil
+		busy := cand.busy
+		stamp := cand.lastUsed
+		cand.mu.Unlock()
+		if !ok {
+			continue
+		}
+		loaded++
+		if busy || skip[cand.ID] {
+			continue
+		}
+		if lru == nil || stamp.Before(lruStamp) {
+			lru, lruStamp = cand, stamp
+		}
+	}
+	if loaded <= st.limit {
+		return nil
+	}
+	return lru
+}
+
+// sessionsRoot is the directory durable sessions live under.
+func (s *Server) sessionsRoot() string {
+	return filepath.Join(s.cfg.DataDir, "sessions")
+}
+
+// durableOptions builds the library durability knobs from the server
+// config.
+func (s *Server) durableOptions(dir string) marioh.DurableOptions {
+	return marioh.DurableOptions{
+		Dir:           dir,
+		NoFsync:       s.cfg.WALNoFsync,
+		SnapshotEvery: s.cfg.SnapshotEvery,
+		Logf:          s.cfg.Logf,
+	}
+}
+
+// sessionReconstructor rebuilds the Reconstructor a session runs on from
+// its recorded spec (shared by create and restore so a restored session
+// reconstructs byte-identically).
+func (s *Server) sessionReconstructor(ss *serverSession, m *marioh.Model) (*marioh.Reconstructor, error) {
+	opts, err := ss.spec.Options()
+	if err != nil {
+		return nil, err
+	}
+	opts = append(opts, s.shardingOptions(ss.spec)...)
+	opts = append(opts, marioh.WithModel(m), marioh.WithProgress(ss.publish))
+	return marioh.New(opts...)
+}
+
+// ensureLoaded rehydrates a parked durable session: resume from its
+// snapshot+WAL, record the recovery outcome, then re-park something else
+// if the load pushed memory over the limit. Loaded sessions return
+// immediately.
+func (s *Server) ensureLoaded(ss *serverSession) (*marioh.Session, error) {
+	ss.loadMu.Lock()
+	defer ss.loadMu.Unlock()
+	ss.mu.Lock()
+	sess := ss.sess
+	ss.mu.Unlock()
+	if sess != nil {
+		return sess, nil
+	}
+	if !ss.durable() {
+		return nil, fmt.Errorf("server: session %s has no engine and no durable state", ss.ID)
+	}
+	m, err := s.registry.Get(ss.Model)
+	if err != nil {
+		return nil, fmt.Errorf("restoring session %s: %w", ss.ID, err)
+	}
+	rec, err := s.sessionReconstructor(ss, m)
+	if err != nil {
+		return nil, fmt.Errorf("restoring session %s: %w", ss.ID, err)
+	}
+	sess, err = rec.ResumeSession(s.durableOptions(ss.dir))
+	if err != nil {
+		return nil, fmt.Errorf("restoring session %s: %w", ss.ID, err)
+	}
+	st := sess.Stats()
+	ss.mu.Lock()
+	ss.sess = sess
+	ss.stats = st
+	ss.recovery = st.RecoveryOutcome
+	ss.replayed = st.Replayed
+	// Reset the metric baselines: the counters restart with the process.
+	ss.durWALRecords, ss.durWALBytes, ss.durSnapshots = 0, 0, 0
+	ss.mu.Unlock()
+	s.metrics.Recovery(st.RecoveryOutcome, st.Replayed)
+	s.harvestDurability(ss, st)
+	s.cfg.Logf("mariohd: session %s restored from %s (outcome %s, %d records replayed, %d applies)",
+		ss.ID, ss.dir, st.RecoveryOutcome, st.Replayed, st.Applies)
+	s.enforceLimit(ss.ID)
+	return sess, nil
+}
+
+// harvestDurability feeds the growth of a session's WAL/snapshot
+// counters into the server metrics.
+func (s *Server) harvestDurability(ss *serverSession, st marioh.SessionStats) {
+	if !st.Durable {
+		return
+	}
+	ss.mu.Lock()
+	dr := st.WALRecords - ss.durWALRecords
+	db := st.WALBytes - ss.durWALBytes
+	dn := st.Snapshots - ss.durSnapshots
+	ss.durWALRecords, ss.durWALBytes, ss.durSnapshots = st.WALRecords, st.WALBytes, st.Snapshots
+	ss.mu.Unlock()
+	s.metrics.Durability(dr, db, dn)
+}
+
+// park flushes a durable session to disk and releases its engine. The
+// caller must NOT hold loadMu. Returns false when the session is busy,
+// already parked, or its loadMu is contended (a concurrent restore).
+func (s *Server) park(ss *serverSession) bool {
+	if !ss.loadMu.TryLock() {
+		return false
+	}
+	defer ss.loadMu.Unlock()
+	ss.mu.Lock()
+	if ss.busy || ss.sess == nil {
+		ss.mu.Unlock()
+		return false
+	}
+	sess := ss.sess
+	ss.mu.Unlock()
+	// Close writes the final snapshot; harvest afterwards so the metric
+	// deltas include it.
+	if err := sess.Close(); err != nil {
+		s.cfg.Logf("mariohd: session %s: closing durable state: %v", ss.ID, err)
+	}
+	s.harvestDurability(ss, sess.Stats())
+	ss.mu.Lock()
+	ss.sess = nil
+	ss.mu.Unlock()
+	if err := ss.writeMeta(); err != nil {
+		s.cfg.Logf("mariohd: session %s: writing meta: %v", ss.ID, err)
+	}
+	return true
+}
+
+// enforceLimit evicts loaded sessions past the limit, least recently
+// used first: durable sessions park to disk, memory-only ones are
+// dropped. Busy sessions are never evicted; keep is the id to exempt
+// (the session that triggered the enforcement).
+func (s *Server) enforceLimit(keep string) {
+	skip := map[string]bool{}
+	if keep != "" {
+		skip[keep] = true
+	}
+	for {
+		victim := s.sessions.lruVictim(skip)
+		if victim == nil {
+			return
+		}
+		persisted := false
+		switch {
+		case victim.durable():
+			if !s.park(victim) {
+				skip[victim.ID] = true
+				continue
+			}
+			persisted = true
+			s.cfg.Logf("mariohd: session %s parked to %s (LRU, limit %d)", victim.ID, victim.dir, s.cfg.SessionLimit)
+		default:
+			s.sessions.Remove(victim.ID)
+			s.cfg.Logf("mariohd: session %s evicted (LRU, limit %d)", victim.ID, s.cfg.SessionLimit)
+		}
+		s.metrics.SessionEvicted(persisted)
+	}
+}
+
+// loadParkedSessions scans the data dir at startup and registers every
+// durable session found there (parked; the engine rehydrates on first
+// use).
+func (s *Server) loadParkedSessions() {
+	root := s.sessionsRoot()
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.cfg.Logf("mariohd: scanning %s: %v", root, err)
+		}
+		return
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		raw, err := os.ReadFile(filepath.Join(dir, sessionMetaName))
+		if err != nil || !marioh.HasDurableSession(dir) {
+			s.cfg.Logf("mariohd: %s: not a recoverable session, skipping", dir)
+			continue
+		}
+		var m sessionMeta
+		if err := json.Unmarshal(raw, &m); err != nil || m.ID == "" {
+			s.cfg.Logf("mariohd: %s: unreadable meta.json, skipping: %v", dir, err)
+			continue
+		}
+		ss := &serverSession{
+			ID:       m.ID,
+			Model:    m.Model,
+			spec:     m.Options,
+			dir:      dir,
+			created:  m.Created,
+			lastUsed: m.LastUsed,
+			stats: marioh.SessionStats{
+				Nodes:      m.Nodes,
+				Edges:      m.Edges,
+				Components: m.Components,
+				Applies:    m.Applies,
+				LastDirty:  m.LastDirty,
+				Durable:    true,
+			},
+		}
+		s.sessions.Register(ss)
+		n++
+	}
+	if n > 0 {
+		s.cfg.Logf("mariohd: registered %d durable session(s) from %s", n, root)
+	}
+}
+
+// parkSessions parks every loaded durable session (used at shutdown so
+// the next start resumes with zero replay). Returns how many it parked.
+func (s *Server) parkSessions() int {
+	n := 0
+	for _, ss := range s.sessions.List() {
+		if ss.durable() && s.park(ss) {
+			n++
+		}
+	}
+	return n
 }
 
 // handleSessionCreate implements POST /v1/sessions: open an incremental
-// session over a base graph with a registry model.
+// session over a base graph with a registry model. With a data dir
+// configured the session is durable: its deltas WAL to disk and it
+// survives daemon restarts.
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var req SessionRequest
 	if err := s.decode(w, r, &req); err != nil {
@@ -225,34 +582,41 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errStatus(err), err)
 		return
 	}
-	opts, err := req.Options.Options()
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
-	}
 
-	ss := &serverSession{Model: req.Model, created: time.Now(), lastUsed: time.Now()}
-	opts = append(opts, s.shardingOptions(req.Options)...)
-	opts = append(opts, marioh.WithModel(m), marioh.WithProgress(ss.publish))
-	rec, err := marioh.New(opts...)
+	ss := &serverSession{Model: req.Model, spec: req.Options, created: time.Now(), lastUsed: time.Now()}
+	rec, err := s.sessionReconstructor(ss, m)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sess, err := rec.OpenSession(g)
+	ss.ID = s.sessions.Reserve()
+	var sess *marioh.Session
+	if s.cfg.DataDir != "" {
+		ss.dir = filepath.Join(s.sessionsRoot(), ss.ID)
+		sess, err = rec.OpenDurableSession(g, s.durableOptions(ss.dir))
+	} else {
+		sess, err = rec.OpenSession(g)
+	}
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, errStatus(err), err)
 		return
 	}
 	ss.sess = sess
 	ss.stats = sess.Stats()
-	evicted := s.sessions.Add(ss)
-	s.metrics.SessionOpen(len(evicted))
-	for _, id := range evicted {
-		s.cfg.Logf("mariohd: session %s evicted (LRU, limit %d)", id, s.cfg.SessionLimit)
+	if ss.durable() {
+		if err := ss.writeMeta(); err != nil {
+			s.cfg.Logf("mariohd: session %s: writing meta: %v", ss.ID, err)
+		}
 	}
-	s.cfg.Logf("mariohd: session %s opened (model %s, %d nodes, %d edges)",
-		ss.ID, ss.Model, g.NumNodes(), g.NumEdges())
+	s.sessions.Install(ss)
+	s.metrics.SessionOpen()
+	s.enforceLimit(ss.ID)
+	durable := ""
+	if ss.durable() {
+		durable = ", durable"
+	}
+	s.cfg.Logf("mariohd: session %s opened (model %s, %d nodes, %d edges%s)",
+		ss.ID, ss.Model, g.NumNodes(), g.NumEdges(), durable)
 	s.writeJSON(w, http.StatusCreated, ss.info())
 }
 
@@ -276,11 +640,29 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, ss.info())
 }
 
-// handleSessionDelete implements DELETE /v1/sessions/{id}.
+// handleSessionDelete implements DELETE /v1/sessions/{id}. A durable
+// session's on-disk state is removed with it; the close (which may wait
+// behind an in-flight apply) happens off the request goroutine.
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.sessions.Delete(r.PathValue("id")) {
+	ss, ok := s.sessions.Remove(r.PathValue("id"))
+	if !ok {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
 		return
+	}
+	if ss.durable() {
+		go func() {
+			ss.mu.Lock()
+			sess := ss.sess
+			ss.mu.Unlock()
+			if sess != nil {
+				if err := sess.Close(); err != nil {
+					s.cfg.Logf("mariohd: session %s: closing durable state: %v", ss.ID, err)
+				}
+			}
+			if err := os.RemoveAll(ss.dir); err != nil {
+				s.cfg.Logf("mariohd: session %s: removing %s: %v", ss.ID, ss.dir, err)
+			}
+		}()
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -320,6 +702,8 @@ func (s *Server) handleSessionApply(w http.ResponseWriter, r *http.Request) {
 	}
 	// One apply at a time per session: deltas are ordered mutations, and
 	// two in flight would interleave unpredictably on the worker pool.
+	// Acquiring before the load also pins the session in memory — the LRU
+	// enforcer never touches a busy session.
 	if err := ss.acquire(); err != nil {
 		s.writeError(w, errStatus(err), err)
 		return
@@ -327,22 +711,56 @@ func (s *Server) handleSessionApply(w http.ResponseWriter, r *http.Request) {
 	// The slot is freed exactly once per acquisition, on whichever comes
 	// first: the workload's defer, the job's terminal state (covers an
 	// async job cancelled while still queued, whose workload never runs),
-	// or a failed submission.
+	// or a failed submission. Releasing re-checks the memory bound: a
+	// session that was too busy to evict is fair game afterwards.
 	var relOnce sync.Once
-	release := func() { relOnce.Do(ss.release) }
+	release := func() {
+		relOnce.Do(func() {
+			ss.release()
+			// Refresh the on-disk meta so a crash before the next park
+			// still leaves an accurate applies counter for the parked
+			// listing (and for clients computing a Seq guard against it).
+			if ss.durable() && ss.loaded() {
+				if err := ss.writeMeta(); err != nil {
+					s.cfg.Logf("mariohd: session %s: writing meta: %v", ss.ID, err)
+				}
+			}
+			s.enforceLimit("")
+		})
+	}
+
+	sess, err := s.ensureLoaded(ss)
+	if err != nil {
+		release()
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	// Seq guard: deltas are not idempotent, so a client resuming after an
+	// ambiguous failure asserts the applies counter it believes the
+	// session is at; a mismatch means the batch (or someone else's)
+	// already landed. Checked under the acquired slot, so it cannot race
+	// another apply.
+	if req.Seq != nil && *req.Seq != sess.Stats().Applies {
+		err := fmt.Errorf("%w: session %s is at %d, request asserted %d",
+			ErrSeqMismatch, ss.ID, sess.Stats().Applies, *req.Seq)
+		release()
+		s.writeError(w, errStatus(err), err)
+		return
+	}
 
 	run := func(ctx context.Context, job *Job) (any, error) {
 		defer release()
 		ss.pub.Store(s.publisher(job))
 		defer ss.pub.Store(marioh.ProgressFunc(nil))
-		res, err := ss.sess.Apply(ctx, marioh.Delta{Ops: ops})
+		res, err := sess.Apply(ctx, marioh.Delta{Ops: ops})
 		ss.touch(job.ID)
 		if err != nil {
 			return nil, err
 		}
 		s.metrics.Stage("session_apply", res.Times.Filtering+res.Times.Bidirectional)
-		st := ss.sess.Stats()
+		st := sess.Stats()
 		s.metrics.SessionApply(res.DirtyComponents, st.Components-res.DirtyComponents)
+		s.harvestDurability(ss, st)
 		rr, err := reconstructResult(res)
 		if err != nil {
 			return nil, err

@@ -360,3 +360,197 @@ func TestServerSessionValidation(t *testing.T) {
 		t.Errorf("events before first apply: status %d, want 404", resp.StatusCode)
 	}
 }
+
+// newDurableTestServer boots a server with on-disk models and sessions
+// rooted at dir, so a second instance over the same dir simulates a
+// daemon restart.
+func newDurableTestServer(t *testing.T, dir string, mutate func(*Config)) (*Server, *Client) {
+	t.Helper()
+	return newTestServer(t, func(cfg *Config) {
+		cfg.ModelsDir = dir + "/models"
+		cfg.DataDir = dir + "/data"
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+}
+
+// TestServerSessionDurableRestart: a session created with a data dir
+// survives an unclean daemon restart (no shutdown parking — the second
+// instance recovers purely from the WAL and snapshots), and the resumed
+// session's next apply is byte-identical to a library rebuild of the
+// same delta sequence.
+func TestServerSessionDurableRestart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	src, tgt := testSource(t), testTarget(t)
+
+	_, c1 := newDurableTestServer(t, dir, nil)
+	trainOn(t, c1, src, "m1", OptionSpec{Seed: 3, Epochs: 6})
+	info, err := c1.CreateSession(ctx, SessionRequest{Model: "m1", Graph: graphText(t, tgt), Options: OptionSpec{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Durable {
+		t.Fatalf("session with a data dir is not durable: %+v", info)
+	}
+	if _, _, err := c1.ApplySession(ctx, info.ID, SessionApplyRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	deltas := "+ 0 7 2\n- 6 7\n= 1 2 3\n"
+	before, _, err := c1.ApplySession(ctx, info.ID, SessionApplyRequest{Deltas: deltas})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": boot a second server over the same directories without any
+	// clean shutdown of the first.
+	_, c2 := newDurableTestServer(t, dir, nil)
+	list, err := c2.Sessions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != info.ID || !list[0].Durable || !list[0].Parked {
+		t.Fatalf("restarted server sessions = %+v", list)
+	}
+	// An empty apply on the recovered session must reproduce the exact
+	// pre-crash reconstruction.
+	after, _, err := c2.ApplySession(ctx, info.ID, SessionApplyRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Result.Hypergraph != before.Result.Hypergraph {
+		t.Fatal("recovered session reconstruction diverges from the pre-crash result")
+	}
+	got, err := c2.Session(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Applies != 3 || got.Parked || got.Recovery == "" {
+		t.Fatalf("recovered session info = %+v", got)
+	}
+
+	metricsResp, err := http.Get(c2.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	if _, err := mbuf.ReadFrom(metricsResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	metricsResp.Body.Close()
+	metrics := mbuf.String()
+	for _, want := range []string{
+		"marioh_recovery_total{outcome=",
+		"marioh_wal_appends_total 1", // the empty post-recovery apply
+		"marioh_snapshot_writes_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestServerSessionDurableEviction: past the session limit a durable
+// session parks to disk (persisted eviction) instead of being dropped,
+// stays listed, and transparently rehydrates on its next apply.
+func TestServerSessionDurableEviction(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	src, tgt := testSource(t), testTarget(t)
+	_, c := newDurableTestServer(t, dir, func(cfg *Config) { cfg.SessionLimit = 1 })
+	trainOn(t, c, src, "m1", OptionSpec{Seed: 1, Epochs: 5})
+
+	a, err := c.CreateSession(ctx, SessionRequest{Model: "m1", Graph: graphText(t, tgt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstA, _, err := c.ApplySession(ctx, a.ID, SessionApplyRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, SessionRequest{Model: "m1", Graph: graphText(t, tgt)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A must be parked, not gone.
+	got, err := c.Session(ctx, a.ID)
+	if err != nil {
+		t.Fatalf("parked session dropped from the listing: %v", err)
+	}
+	if !got.Parked || !got.Durable {
+		t.Fatalf("evicted durable session info = %+v", got)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Sessions != 1 || h.Parked != 1 {
+		t.Fatalf("health = sessions %d parked %d, want 1/1", h.Sessions, h.Parked)
+	}
+
+	// Rehydrate by applying again; the reconstruction must match the
+	// pre-park one exactly.
+	again, _, err := c.ApplySession(ctx, a.ID, SessionApplyRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Result.Hypergraph != firstA.Result.Hypergraph {
+		t.Fatal("rehydrated session reconstruction diverges")
+	}
+	if again.Session.Parked || again.Session.Recovery == "" {
+		t.Fatalf("rehydrated session info = %+v", again.Session)
+	}
+
+	metricsResp, err := http.Get(c.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	if _, err := mbuf.ReadFrom(metricsResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	metricsResp.Body.Close()
+	if !strings.Contains(mbuf.String(), `marioh_session_evicted_total{persisted="true"} `) {
+		t.Error("metrics missing persisted eviction counter")
+	}
+}
+
+// TestServerSessionSeqGuard: an apply asserting a stale applies counter
+// gets 409 without mutating; the matching guard passes.
+func TestServerSessionSeqGuard(t *testing.T) {
+	ctx := context.Background()
+	src, tgt := testSource(t), testTarget(t)
+	_, c := newTestServer(t, nil)
+	trainOn(t, c, src, "m1", OptionSpec{Seed: 1, Epochs: 5})
+	info, err := c.CreateSession(ctx, SessionRequest{Model: "m1", Graph: graphText(t, tgt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.ApplySession(ctx, info.ID, SessionApplyRequest{}); err != nil {
+		t.Fatal(err)
+	}
+
+	stale := 0
+	status, _, err := c.doRaw(ctx, http.MethodPost, "/v1/sessions/"+info.ID+"/apply",
+		SessionApplyRequest{Deltas: "+ 0 7 2\n", Seq: &stale})
+	if err == nil || status != http.StatusConflict {
+		t.Fatalf("stale seq guard: status %d err %v, want 409", status, err)
+	}
+	got, err := c.Session(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Applies != 1 {
+		t.Fatalf("guarded-out apply still mutated: applies %d", got.Applies)
+	}
+
+	match := 1
+	resp, _, err := c.ApplySession(ctx, info.ID, SessionApplyRequest{Deltas: "+ 0 7 2\n", Seq: &match})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Session.Applies != 2 {
+		t.Fatalf("matching seq guard apply = %+v", resp.Session)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 
+	"marioh/internal/durability"
 	"marioh/internal/graph"
 	"marioh/internal/incremental"
 )
@@ -57,9 +58,15 @@ func WriteDeltas(w io.Writer, ops []DeltaOp) error { return graph.WriteDeltas(w,
 // per-round budget is applied per component.
 //
 // A Session is safe for concurrent use; Apply calls serialize.
+//
+// A session opened with OpenDurableSession or ResumeSession additionally
+// write-ahead-logs every delta batch and snapshots its engine state under
+// a directory, so a crashed process resumes byte-identically to a cold
+// rebuild of the same delta sequence (see DurableOptions).
 type Session struct {
 	mu  sync.Mutex
-	eng *incremental.Engine // guarded by mu
+	eng *incremental.Engine // guarded by mu; nil when dur is set
+	dur *durability.Session // guarded by mu; nil for in-memory sessions
 }
 
 // SessionStats is a snapshot of a Session's state.
@@ -74,6 +81,22 @@ type SessionStats struct {
 	// LastDirty is the number of components the most recent Apply
 	// recomputed.
 	LastDirty int
+
+	// Durable reports whether the session persists to disk; the fields
+	// below are zero for in-memory sessions.
+	Durable bool
+	// WALRecords and WALBytes count the delta batches (and their framed
+	// bytes) this process appended to the write-ahead log.
+	WALRecords, WALBytes int64
+	// Snapshots counts the engine snapshots this process wrote.
+	Snapshots int64
+	// Replayed is the number of WAL records the last ResumeSession
+	// replayed to reach the recovered state.
+	Replayed int
+	// RecoveryOutcome classifies the last recovery: "clean", "torn-tail",
+	// "cache-dropped", "snapshot-fallback", or "lost-suffix" (empty for a
+	// session created in this process).
+	RecoveryOutcome string
 }
 
 // OpenSession starts an incremental reconstruction session over g using
@@ -97,15 +120,104 @@ func (r *Reconstructor) OpenSession(g *Graph) (*Session, error) {
 	if g == nil {
 		return nil, errors.New("marioh: nil session graph")
 	}
-	workers := 0
-	if s := r.cfg.sharding; s != nil && s.Workers > 0 {
-		workers = s.Workers
-	} else if r.cfg.parallelism > 0 {
-		workers = r.cfg.parallelism
-	}
 	return &Session{
-		eng: incremental.New(g.Clone(), m, r.reconstructOptions(nil), workers),
+		eng: incremental.New(g.Clone(), m, r.reconstructOptions(nil), r.sessionWorkers()),
 	}, nil
+}
+
+// sessionWorkers resolves the engine worker count from the
+// reconstructor's sharding/parallelism configuration.
+func (r *Reconstructor) sessionWorkers() int {
+	if s := r.cfg.sharding; s != nil && s.Workers > 0 {
+		return s.Workers
+	}
+	if r.cfg.parallelism > 0 {
+		return r.cfg.parallelism
+	}
+	return 0
+}
+
+// DurableOptions configures an on-disk session directory.
+type DurableOptions struct {
+	// Dir is the session directory (created by OpenDurableSession if
+	// needed). One directory holds exactly one session.
+	Dir string
+	// NoFsync skips fsync on WAL appends and snapshot renames. Appends
+	// still reach the kernel before Apply returns — the session survives a
+	// process kill — but a power loss may drop acknowledged batches.
+	NoFsync bool
+	// SnapshotEvery is the number of applies between engine snapshots; 0
+	// means the default (8), negative disables periodic snapshots (Close
+	// and ResumeSession still write one).
+	SnapshotEvery int
+	// Logf receives recovery and degradation notices; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o DurableOptions) internal() durability.Options {
+	return durability.Options{NoFsync: o.NoFsync, SnapshotEvery: o.SnapshotEvery, Logf: o.Logf}
+}
+
+// HasDurableSession reports whether dir holds a durable session (and so
+// whether ResumeSession or OpenDurableSession is the right call).
+func HasDurableSession(dir string) bool { return durability.Exists(dir) }
+
+// OpenDurableSession starts a durable incremental session over g, backed
+// by o.Dir: every Apply appends the delta batch to a write-ahead log
+// before reconstructing, and the engine state is snapshotted
+// periodically, so after a crash ResumeSession recovers the session
+// byte-identically to a cold rebuild. The directory must not already
+// hold a session. The graph is copied; the caller's g is never mutated.
+func OpenDurableSession(r *Reconstructor, g *Graph, o DurableOptions) (*Session, error) {
+	return r.OpenDurableSession(g, o)
+}
+
+// OpenDurableSession is the method form of marioh.OpenDurableSession.
+func (r *Reconstructor) OpenDurableSession(g *Graph, o DurableOptions) (*Session, error) {
+	m := r.Model()
+	if m == nil {
+		return nil, ErrNoModel
+	}
+	if g == nil {
+		return nil, errors.New("marioh: nil session graph")
+	}
+	if o.Dir == "" {
+		return nil, errors.New("marioh: durable session needs a directory")
+	}
+	dur, err := durability.Create(o.Dir, g.Clone(), m, r.reconstructOptions(nil), r.sessionWorkers(), o.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Session{dur: dur}, nil
+}
+
+// ResumeSession recovers the durable session in o.Dir: the newest valid
+// snapshot is loaded and the WAL tail is replayed through the engine
+// with the recorded graph fingerprint verified after every record. A
+// torn final record (the expected crash artifact) is discarded — that
+// batch was never acknowledged. Deeper damage degrades along the
+// snapshot chain and is reported in SessionStats.RecoveryOutcome; only
+// when no consistent state can be proven does ResumeSession return an
+// error, never a wrong answer.
+//
+// The reconstructor must carry the same model and configuration the
+// session was created with; byte-identity is asserted against the
+// recorded fingerprints during replay.
+func ResumeSession(r *Reconstructor, o DurableOptions) (*Session, error) {
+	return r.ResumeSession(o)
+}
+
+// ResumeSession is the method form of marioh.ResumeSession.
+func (r *Reconstructor) ResumeSession(o DurableOptions) (*Session, error) {
+	m := r.Model()
+	if m == nil {
+		return nil, ErrNoModel
+	}
+	dur, err := durability.Resume(o.Dir, m, r.reconstructOptions(nil), r.sessionWorkers(), o.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Session{dur: dur}, nil
 }
 
 // Apply mutates the session graph with a batch of deltas and returns the
@@ -122,6 +234,9 @@ func (r *Reconstructor) OpenSession(g *Graph) (*Session, error) {
 func (s *Session) Apply(ctx context.Context, d Delta) (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dur != nil {
+		return s.dur.Apply(ctx, d.Ops)
+	}
 	return s.eng.Apply(ctx, d.Ops)
 }
 
@@ -129,6 +244,9 @@ func (s *Session) Apply(ctx context.Context, d Delta) (*Result, error) {
 func (s *Session) Graph() *Graph {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dur != nil {
+		return s.dur.Graph().Clone()
+	}
 	return s.eng.Graph().Clone()
 }
 
@@ -136,6 +254,23 @@ func (s *Session) Graph() *Graph {
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dur != nil {
+		g := s.dur.Graph()
+		ds := s.dur.Stats()
+		return SessionStats{
+			Nodes:           g.NumNodes(),
+			Edges:           g.NumEdges(),
+			Components:      s.dur.CachedComponents(),
+			Applies:         s.dur.Applies(),
+			LastDirty:       s.dur.LastDirty(),
+			Durable:         true,
+			WALRecords:      ds.WALRecords,
+			WALBytes:        ds.WALBytes,
+			Snapshots:       ds.Snapshots,
+			Replayed:        ds.Replayed,
+			RecoveryOutcome: ds.Outcome,
+		}
+	}
 	g := s.eng.Graph()
 	return SessionStats{
 		Nodes:      g.NumNodes(),
@@ -144,4 +279,28 @@ func (s *Session) Stats() SessionStats {
 		Applies:    s.eng.Applies(),
 		LastDirty:  s.eng.LastDirty(),
 	}
+}
+
+// Sync forces the durable session's write-ahead log to disk, regardless
+// of NoFsync. It is a no-op for in-memory sessions.
+func (s *Session) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dur != nil {
+		return s.dur.Sync()
+	}
+	return nil
+}
+
+// Close writes a final snapshot (so the next ResumeSession replays
+// nothing) and releases the durable session's file handles. In-memory
+// sessions close trivially. Safe to call twice; a closed session's
+// Apply returns an error.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dur != nil {
+		return s.dur.Close()
+	}
+	return nil
 }
