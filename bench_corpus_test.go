@@ -1,0 +1,71 @@
+package marioh_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"marioh"
+	"marioh/internal/corpus"
+)
+
+// BenchmarkCorpusReconstruct tracks full-reconstruction cost per scenario-
+// corpus family, so a perf regression shows up attributed to the graph
+// shape that triggers it (dense hubs vs bridge chains vs overlapping
+// cliques) instead of averaged away in an aggregate number. Part of the
+// substrate set recorded by `make bench-json` and gated by cmd/benchdiff.
+// Run with
+//
+//	go test -run '^$' -bench BenchmarkCorpusReconstruct -benchmem .
+
+var (
+	corpusBenchOnce  sync.Once
+	corpusBenchModel *marioh.Model
+	corpusBenchErr   error
+)
+
+// corpusBenchSetup trains the gate-standard model (hosts source, seed 1,
+// 15 epochs — the configuration every equivalence gate uses) once per
+// bench process.
+func corpusBenchSetup(tb testing.TB) *marioh.Model {
+	tb.Helper()
+	corpusBenchOnce.Do(func() {
+		ds, err := marioh.GenerateDataset("hosts", 1)
+		if err != nil {
+			corpusBenchErr = err
+			return
+		}
+		src := ds.Source.Reduced()
+		r, err := marioh.New(marioh.WithSeed(1), marioh.WithEpochs(15))
+		if err != nil {
+			corpusBenchErr = err
+			return
+		}
+		corpusBenchModel, corpusBenchErr = r.Train(context.Background(), src.Project(), src)
+	})
+	if corpusBenchErr != nil {
+		tb.Fatal(corpusBenchErr)
+	}
+	return corpusBenchModel
+}
+
+func BenchmarkCorpusReconstruct(b *testing.B) {
+	model := corpusBenchSetup(b)
+	r, err := marioh.New(marioh.WithSeed(1), marioh.WithModel(model))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range corpus.Families {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			g := f.Gen(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Reconstruct(context.Background(), g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

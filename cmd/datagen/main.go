@@ -5,10 +5,19 @@
 // (inserts, deletes, weight changes) valid against that graph — the
 // inputs of the incremental-reconstruction tests and benchmarks.
 //
+// With -family it instead (or additionally, when -dataset is also given)
+// emits scenario-corpus families from internal/corpus: per family the base
+// projected graph as <name>.target.graph and, with -deltas N, the family's
+// adversarial delta stream as <name>.target.deltas. These are the graphs
+// the shell-level equivalence gates (shard-check, incr-check, crash-check)
+// replay end to end.
+//
 // Usage:
 //
 //	datagen -out ./data -seed 1
 //	datagen -out ./data -dataset hosts,pschool -reduced -deltas 60
+//	datagen -out ./data -family powerlaw-hubs,bridge-chain -deltas 60
+//	datagen -out ./data -family all
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"strings"
 
 	"marioh"
+	"marioh/internal/corpus"
 )
 
 func main() {
@@ -28,12 +38,16 @@ func main() {
 	datasetFlag := flag.String("dataset", "", "comma-separated dataset names (empty = all)")
 	reduced := flag.Bool("reduced", false, "reduce hyperedge multiplicities to 1 (mariohctl gen's default view)")
 	deltas := flag.Int("deltas", 0, "also emit <name>.target.graph and a delta stream of this many ops")
-	deltaSeed := flag.Int64("delta-seed", 1, "seed of the delta stream")
+	deltaSeed := flag.Int64("delta-seed", 1, "seed of the delta stream (datasets only; corpus families derive theirs from -seed)")
+	familyFlag := flag.String("family", "", "comma-separated scenario-corpus family names, or \"all\"")
 	flag.Parse()
 
 	names := marioh.DatasetNames()
 	if *datasetFlag != "" {
 		names = strings.Split(*datasetFlag, ",")
+	}
+	if *familyFlag != "" && *datasetFlag == "" {
+		names = nil // -family alone emits only corpus families
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
@@ -66,6 +80,30 @@ func main() {
 		fmt.Printf("%s: |V|=%d |E_H|=%d (source %d / target %d)\n",
 			name, full.NumNodes(), full.NumUnique(),
 			src.NumUnique(), tgt.NumUnique())
+	}
+
+	if *familyFlag != "" {
+		famNames := corpus.Names()
+		if *familyFlag != "all" {
+			famNames = strings.Split(*familyFlag, ",")
+		}
+		for _, name := range famNames {
+			name = strings.TrimSpace(name)
+			f, ok := corpus.ByName(name)
+			if !ok {
+				fail(fmt.Errorf("unknown family %q (have %s)", name, strings.Join(corpus.Names(), ", ")))
+			}
+			g := f.Gen(*seed)
+			writeFile(filepath.Join(*out, name+".target.graph"), func(w *os.File) error { return g.Write(w) })
+			if *deltas > 0 {
+				ops := f.Deltas(*seed, *deltas)
+				writeFile(filepath.Join(*out, name+".target.deltas"), func(w *os.File) error {
+					return marioh.WriteDeltas(w, ops)
+				})
+			}
+			fmt.Printf("%s: |V|=%d |E|=%d (corpus family: %s)\n",
+				name, g.NumNodes(), g.NumEdges(), f.Desc)
+		}
 	}
 }
 

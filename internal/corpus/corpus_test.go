@@ -1,0 +1,219 @@
+package corpus
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"marioh/internal/graph"
+)
+
+// renderGraph serializes a graph in its canonical text form.
+func renderGraph(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRegistry: names are unique, non-empty, sorted (registry order is
+// part of the corpus contract — CI matrices and docs cite it), and
+// ByName/MustByName resolve every entry.
+func TestRegistry(t *testing.T) {
+	if len(Families) < 6 {
+		t.Fatalf("corpus has %d families, want at least 6", len(Families))
+	}
+	seen := map[string]bool{}
+	prev := ""
+	for _, f := range Families {
+		if f.Name == "" || f.Desc == "" || f.Gen == nil || f.Deltas == nil || len(f.Tags) == 0 {
+			t.Fatalf("family %+v has empty fields", f.Name)
+		}
+		if seen[f.Name] {
+			t.Fatalf("duplicate family name %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Name < prev {
+			t.Fatalf("Families not sorted by name: %q after %q", f.Name, prev)
+		}
+		prev = f.Name
+		got, ok := ByName(f.Name)
+		if !ok || got.Name != f.Name {
+			t.Fatalf("ByName(%q) failed", f.Name)
+		}
+		MustByName(f.Name)
+	}
+	if _, ok := ByName("no-such-family"); ok {
+		t.Fatal("ByName resolved a bogus name")
+	}
+	if len(Names()) != len(Families) {
+		t.Fatal("Names() length mismatch")
+	}
+}
+
+// TestGenDeterminism: Gen is a pure function of the seed — byte-identical
+// across calls, different across seeds (a family that ignores its seed
+// would silently collapse the nightly seed-rotation matrix).
+func TestGenDeterminism(t *testing.T) {
+	for _, f := range Families {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			a := renderGraph(t, f.Gen(1))
+			b := renderGraph(t, f.Gen(1))
+			if !bytes.Equal(a, b) {
+				t.Fatal("Gen(1) differs across calls")
+			}
+			if c := renderGraph(t, f.Gen(2)); bytes.Equal(a, c) {
+				t.Fatal("Gen ignores its seed")
+			}
+			g := f.Gen(1)
+			if g.NumEdges() == 0 {
+				t.Fatal("family generates an empty graph")
+			}
+		})
+	}
+}
+
+// TestDeltaStreamValidity: Deltas is deterministic, wire-format clean
+// (round-trips through the delta text format), and valid op by op
+// against the running graph: deletes name live edges, adds have positive
+// weight, sets are non-negative, no self-loops.
+func TestDeltaStreamValidity(t *testing.T) {
+	const n = 120
+	for _, f := range Families {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			ops := f.Deltas(1, n)
+			if len(ops) != n {
+				t.Fatalf("Deltas(1, %d) returned %d ops", n, len(ops))
+			}
+			again := f.Deltas(1, n)
+			for i := range ops {
+				if ops[i] != again[i] {
+					t.Fatalf("op %d differs across calls: %v vs %v", i, ops[i], again[i])
+				}
+			}
+			// A prefix of a longer stream must be the stream of the prefix
+			// length — gates truncate freely.
+			short := f.Deltas(1, n/2)
+			for i := range short {
+				if ops[i] != short[i] {
+					t.Fatalf("op %d not prefix-stable: %v vs %v", i, ops[i], short[i])
+				}
+			}
+			var buf bytes.Buffer
+			if err := graph.WriteDeltas(&buf, ops); err != nil {
+				t.Fatal(err)
+			}
+			rt, err := graph.ReadDeltas(&buf)
+			if err != nil {
+				t.Fatalf("stream does not survive the wire format: %v", err)
+			}
+			if len(rt) != len(ops) {
+				t.Fatalf("round-trip dropped ops: %d vs %d", len(rt), len(ops))
+			}
+			g := f.Gen(1)
+			for i, op := range ops {
+				if op.U == op.V {
+					t.Fatalf("op %d is a self-loop: %v", i, op)
+				}
+				top := op.U
+				if op.V > top {
+					top = op.V
+				}
+				g.EnsureNodes(top + 1)
+				switch op.Kind {
+				case graph.DeltaAdd:
+					if op.W <= 0 {
+						t.Fatalf("op %d: add with weight %d", i, op.W)
+					}
+					g.AddWeight(op.U, op.V, op.W)
+				case graph.DeltaRemove:
+					if !g.HasEdge(op.U, op.V) {
+						t.Fatalf("op %d deletes absent edge {%d,%d}", i, op.U, op.V)
+					}
+					g.RemoveEdge(op.U, op.V)
+				case graph.DeltaSet:
+					if op.W < 0 {
+						t.Fatalf("op %d: set with weight %d", i, op.W)
+					}
+					g.SetWeight(op.U, op.V, op.W)
+				default:
+					t.Fatalf("op %d: unknown kind %d", i, op.Kind)
+				}
+			}
+		})
+	}
+}
+
+// TestTrackerMatchesRescanOverCorpus is the graph-level engine-vs-map
+// property run over every family's adversarial stream: the incremental
+// component Tracker must agree with a from-scratch component scan and a
+// plain weight-map shadow after every batch.
+func TestTrackerMatchesRescanOverCorpus(t *testing.T) {
+	const total, batch = 150, 10
+	for _, f := range Families {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			tracker := graph.NewTracker(f.Gen(1))
+			shadow := map[[2]int]int{}
+			for _, e := range f.Gen(1).Edges() {
+				shadow[[2]int{e.U, e.V}] = e.W
+			}
+			ops := f.Deltas(1, total)
+			for start := 0; start < len(ops); start += batch {
+				end := start + batch
+				if end > len(ops) {
+					end = len(ops)
+				}
+				for _, op := range ops[start:end] {
+					tracker.Apply(op)
+					u, v := op.U, op.V
+					if u > v {
+						u, v = v, u
+					}
+					key := [2]int{u, v}
+					switch op.Kind {
+					case graph.DeltaAdd:
+						shadow[key] += op.W
+					case graph.DeltaRemove:
+						delete(shadow, key)
+					case graph.DeltaSet:
+						if op.W == 0 {
+							delete(shadow, key)
+						} else {
+							shadow[key] = op.W
+						}
+					}
+				}
+				g := tracker.Graph()
+				edges := g.Edges()
+				if len(edges) != len(shadow) {
+					t.Fatalf("after op %d: graph has %d edges, shadow %d", end, len(edges), len(shadow))
+				}
+				for _, e := range edges {
+					if shadow[[2]int{e.U, e.V}] != e.W {
+						t.Fatalf("after op %d: edge {%d,%d} weight %d, shadow %d",
+							end, e.U, e.V, e.W, shadow[[2]int{e.U, e.V}])
+					}
+				}
+				want := fmt.Sprint(nonSingleton(g.ConnectedComponents()))
+				if got := fmt.Sprint(tracker.Components()); got != want {
+					t.Fatalf("after op %d: tracker components %s, rescan %s", end, got, want)
+				}
+			}
+		})
+	}
+}
+
+func nonSingleton(comps [][]int) [][]int {
+	out := [][]int{}
+	for _, c := range comps {
+		if len(c) > 1 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -34,7 +34,7 @@ counts) or annotate the loop with //lint:maporder <reason>.`
 
 // DefaultPackages are the determinism-critical package suffixes the
 // analyzer polices by default; testdata packages are always in scope.
-const DefaultPackages = "internal/core,internal/graph,internal/shard,internal/incremental,internal/hypergraph,internal/durability"
+const DefaultPackages = "internal/core,internal/graph,internal/shard,internal/incremental,internal/hypergraph,internal/durability,internal/corpus"
 
 const name = "maporder"
 

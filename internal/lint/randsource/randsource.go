@@ -32,7 +32,7 @@ lookups break that. Use the component-seeded sampleRNG/splitmix64 idiom
 exception with //lint:randsource <reason>.`
 
 // DefaultPackages mirrors maporder's determinism-critical scope.
-const DefaultPackages = "internal/core,internal/graph,internal/shard,internal/incremental,internal/hypergraph,internal/durability"
+const DefaultPackages = "internal/core,internal/graph,internal/shard,internal/incremental,internal/hypergraph,internal/durability,internal/corpus"
 
 const name = "randsource"
 

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"marioh/internal/corpus"
 	"marioh/internal/graph"
 )
 
@@ -306,5 +307,111 @@ func TestPartitionDisableSplitKeepsComponentsWhole(t *testing.T) {
 	plan := Partition(g, Options{Shards: 4, TargetEdges: 1, DisableSplit: true})
 	if len(plan.Pieces) != 1 {
 		t.Fatalf("DisableSplit must keep the path whole, got %d pieces", len(plan.Pieces))
+	}
+}
+
+// corpusMutated replays a family's adversarial delta stream onto its base
+// graph, giving the property tests the post-churn shapes the equivalence
+// gates actually reconstruct.
+func corpusMutated(f corpus.Family, seed int64, n int) *graph.Graph {
+	g := f.Gen(seed)
+	for _, op := range f.Deltas(seed, n) {
+		top := op.U
+		if op.V > top {
+			top = op.V
+		}
+		g.EnsureNodes(top + 1)
+		switch op.Kind {
+		case graph.DeltaAdd:
+			g.AddWeight(op.U, op.V, op.W)
+		case graph.DeltaRemove:
+			g.RemoveEdge(op.U, op.V)
+		case graph.DeltaSet:
+			g.SetWeight(op.U, op.V, op.W)
+		}
+	}
+	return g
+}
+
+// TestPartitionPropertiesOverCorpus promotes the partitioner's two core
+// invariants — every edge assigned exactly once with its original weight,
+// and no maximal clique ever split across pieces — from the random-graph
+// trials above to every scenario-corpus family, on both the base graph
+// and the graph after the family's adversarial delta stream. The hub,
+// bridge-chain and overlapping-clique shapes are engineered to sit on the
+// partitioner's decision boundaries (bridge cuts, clique containment),
+// which uniform random communities rarely reach.
+func TestPartitionPropertiesOverCorpus(t *testing.T) {
+	for _, f := range corpus.Families {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			for _, state := range []struct {
+				name string
+				g    *graph.Graph
+			}{
+				{"base", f.Gen(1)},
+				{"mutated", corpusMutated(f, 1, 60)},
+			} {
+				g := state.g
+				for _, opts := range []Options{
+					{Shards: 1},
+					{Shards: 4, TargetEdges: 8},
+					{Shards: 16, TargetEdges: 8},
+				} {
+					plan := Partition(g, opts)
+
+					// Edge cover: exactly once, exact weight.
+					seen := map[[2]int]int{}
+					for _, e := range planEdges(plan) {
+						seen[[2]int{e.U, e.V}]++
+						if e.W != g.Weight(e.U, e.V) {
+							t.Fatalf("%s %+v: ω(%d,%d) = %d, want %d",
+								state.name, opts, e.U, e.V, e.W, g.Weight(e.U, e.V))
+						}
+					}
+					for pair, count := range seen {
+						if count != 1 {
+							t.Fatalf("%s %+v: edge %v assigned %d times", state.name, opts, pair, count)
+						}
+					}
+					if len(seen) != g.NumEdges() {
+						t.Fatalf("%s %+v: plan covers %d edges, graph has %d",
+							state.name, opts, len(seen), g.NumEdges())
+					}
+
+					// Clique containment: every maximal clique hosted whole by
+					// exactly one piece.
+					for _, q := range g.MaximalCliques(2) {
+						hosts := 0
+						for _, piece := range plan.Pieces {
+							local := map[int]int{}
+							for i, u := range piece.Nodes {
+								local[u] = i
+							}
+							ok := true
+							for i := 0; ok && i < len(q); i++ {
+								if _, in := local[q[i]]; !in {
+									ok = false
+								}
+							}
+							if !ok {
+								continue
+							}
+							lq := make([]int, len(q))
+							for i, u := range q {
+								lq[i] = local[u]
+							}
+							if piece.Graph.IsClique(lq) {
+								hosts++
+							}
+						}
+						if hosts != 1 {
+							t.Fatalf("%s %+v: maximal clique %v lives in %d pieces, want exactly 1",
+								state.name, opts, q, hosts)
+						}
+					}
+				}
+			}
+		})
 	}
 }

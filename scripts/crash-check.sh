@@ -6,33 +6,34 @@
 # to be byte-identical to a from-scratch serial reconstruction of the
 # fully-mutated graph. Three trials land the kill at different offsets
 # (including, sometimes, after the replay finished — resume must be a
-# clean no-op then too).
+# clean no-op then too). A fourth trial mirrors the gate over the
+# bridge-chain scenario-corpus family, whose bridge-cut deltas split and
+# re-merge components mid-stream.
+#
+# SEED overrides the generation/reconstruction seed (default 1); the
+# nightly job rotates it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+SEED="${SEED:-1}"
 bin=$(mktemp -d)
 work=$(mktemp -d)
 trap 'rm -rf "$bin" "$work"' EXIT
 
-echo "== build"
+echo "== build (SEED=$SEED)"
 go build -o "$bin/mariohctl" ./cmd/mariohctl
 go build -o "$bin/datagen" ./cmd/datagen
 
-echo "== golden: from-scratch serial rebuild of the mutated graph"
-"$bin/datagen" -dataset hosts -seed 1 -reduced -deltas 120 -out "$work"
-"$bin/mariohctl" train -train "$work/hosts.source.hg" -seed 1 -epochs 15 -out "$work/model.json"
-"$bin/mariohctl" mutate -graph "$work/hosts.target.graph" -deltas "$work/hosts.target.deltas" \
-    -out "$work/hosts.mutated.graph"
-"$bin/mariohctl" apply -model "$work/model.json" -target "$work/hosts.mutated.graph" \
-    -seed 1 -out "$work/golden.hg"
-
-for trial in 1 2 3; do
-    sess="$work/sess$trial"
-    echo "== trial $trial: SIGKILL mid-replay, resume, compare"
-    "$bin/mariohctl" session -model "$work/model.json" -graph "$work/hosts.target.graph" \
-        -deltas "$work/hosts.target.deltas" -batch 2 -dir "$sess" -seed 1 \
-        -out "$work/out$trial.hg" >"$work/run$trial.log" 2>&1 &
-    pid=$!
+# trial <label> <graph> <deltas> <golden>: SIGKILL mid-replay, resume,
+# compare the recovered output against the from-scratch golden.
+trial() {
+    local label="$1" graph="$2" deltas="$3" golden="$4"
+    local sess="$work/sess-$label"
+    echo "== trial $label: SIGKILL mid-replay, resume, compare"
+    "$bin/mariohctl" session -model "$work/model.json" -graph "$graph" \
+        -deltas "$deltas" -batch 2 -dir "$sess" -seed "$SEED" \
+        -out "$work/out-$label.hg" >"$work/run-$label.log" 2>&1 &
+    local pid=$!
     sleep "$(printf '0.%02d' $((RANDOM % 15 + 5)))"
     if kill -9 "$pid" 2>/dev/null; then
         echo "   killed the replay"
@@ -40,10 +41,30 @@ for trial in 1 2 3; do
         echo "   replay finished before the kill landed (resume must no-op)"
     fi
     wait "$pid" 2>/dev/null || true
-    "$bin/mariohctl" session -model "$work/model.json" -deltas "$work/hosts.target.deltas" \
-        -batch 2 -dir "$sess" -resume -seed 1 -out "$work/out$trial.hg" | sed 's/^/   /'
-    cmp "$work/golden.hg" "$work/out$trial.hg"
+    "$bin/mariohctl" session -model "$work/model.json" -deltas "$deltas" \
+        -batch 2 -dir "$sess" -resume -seed "$SEED" -out "$work/out-$label.hg" | sed 's/^/   /'
+    cmp "$golden" "$work/out-$label.hg"
     echo "   recovered output is byte-identical to the serial golden"
+}
+
+echo "== golden: from-scratch serial rebuild of the mutated graph"
+"$bin/datagen" -dataset hosts -seed "$SEED" -reduced -deltas 120 -delta-seed "$SEED" -out "$work"
+"$bin/mariohctl" train -train "$work/hosts.source.hg" -seed "$SEED" -epochs 15 -out "$work/model.json"
+"$bin/mariohctl" mutate -graph "$work/hosts.target.graph" -deltas "$work/hosts.target.deltas" \
+    -out "$work/hosts.mutated.graph"
+"$bin/mariohctl" apply -model "$work/model.json" -target "$work/hosts.mutated.graph" \
+    -seed "$SEED" -out "$work/golden.hg"
+
+for t in 1 2 3; do
+    trial "$t" "$work/hosts.target.graph" "$work/hosts.target.deltas" "$work/golden.hg"
 done
+
+echo "== golden: corpus/bridge-chain (reuses the hosts-trained model)"
+"$bin/datagen" -family bridge-chain -seed "$SEED" -deltas 120 -out "$work"
+"$bin/mariohctl" mutate -graph "$work/bridge-chain.target.graph" \
+    -deltas "$work/bridge-chain.target.deltas" -out "$work/bridge-chain.mutated.graph"
+"$bin/mariohctl" apply -model "$work/model.json" -target "$work/bridge-chain.mutated.graph" \
+    -seed "$SEED" -out "$work/golden-bc.hg"
+trial "bridge-chain" "$work/bridge-chain.target.graph" "$work/bridge-chain.target.deltas" "$work/golden-bc.hg"
 
 echo "crash-check ok"
