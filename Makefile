@@ -9,7 +9,7 @@ BENCH_SUBSTRATE ?= BenchmarkHasEdge|BenchmarkMaximalCliques|BenchmarkScoreClique
 # Flags for the bench-regression gate (CI overrides warn-only on pushes).
 BENCHDIFF_FLAGS ?= -warn-only
 
-.PHONY: all build fmt fmt-fix vet lint lint-triage test race smoke shard-check incr-check crash-check bench bench-substrate bench-json bench-json-force bench-regress check
+.PHONY: all build fmt fmt-fix vet lint lint-triage test race smoke shard-check incr-check crash-check load-check bench bench-substrate bench-json bench-json-force bench-regress check
 
 all: check build
 
@@ -87,6 +87,14 @@ incr-check:
 crash-check:
 	./scripts/crash-check.sh
 
+# Multi-tenant serving smoke: cmd/loadgen drives an in-process mariohd
+# with concurrent reconstructions + session churn across tenants under a
+# memory budget, and fails on any 5xx, any byte divergence from the
+# serial library reconstruction, zero dedup hits, or RSS over bound
+# (mirrored by the CI serving-load job).
+load-check:
+	./scripts/load-check.sh
+
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
@@ -107,7 +115,7 @@ bench-json:
 
 bench-json-force:
 	@out=BENCH_$$(date +%Y-%m-%d).json; \
-	prev=$$(ls BENCH_*.json 2>/dev/null | grep -vx "$$out" | sort | tail -1); \
+	prev=$$(ls BENCH_*.json 2>/dev/null | grep -vx "$$out" | grep -v -- '-loadgen.json' | sort | tail -1); \
 	if ! $(GO) test -run '^$$' -bench '$(BENCH_SUBSTRATE)' -benchmem -json . > "$$out"; then \
 		rm -f "$$out"; echo "bench-json: benchmark run failed, nothing recorded"; exit 1; \
 	fi; \

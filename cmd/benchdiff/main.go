@@ -125,17 +125,26 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 }
 
 // latestRecording finds the lexicographically greatest BENCH_*.json in
-// dir — the naming scheme makes that the newest date.
+// dir — the naming scheme makes that the newest date. Serving-latency
+// recordings from cmd/loadgen (BENCH_<date>-loadgen.json) measure wall
+// time of HTTP round-trips, not substrate ns/op, so they never become
+// the substrate baseline.
 func latestRecording(dir string) (string, error) {
 	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		return "", err
 	}
-	if len(matches) == 0 {
+	kept := matches[:0]
+	for _, m := range matches {
+		if !strings.HasSuffix(m, "-loadgen.json") {
+			kept = append(kept, m)
+		}
+	}
+	if len(kept) == 0 {
 		return "", fmt.Errorf("no BENCH_*.json recordings in %s", dir)
 	}
-	sort.Strings(matches)
-	return matches[len(matches)-1], nil
+	sort.Strings(kept)
+	return kept[len(kept)-1], nil
 }
 
 func run() (int, error) {

@@ -1,0 +1,420 @@
+// Command loadgen is the multi-tenant serving load harness: it drives a
+// mariohd daemon (in-process by default, or a remote one via -server)
+// with concurrent reconstructions and session churn spread over several
+// tenants, verifies every served body against the serial single-process
+// library reconstruction (byte equality is the acceptance bar), and
+// records p50/p99 latencies plus the daemon's RSS and dedup counters to
+// a BENCH_<date>-loadgen.json summary.
+//
+// Typical CI use (the `make load-check` smoke):
+//
+//	go run ./cmd/loadgen -requests 200 -concurrency 16 -tenants 4 \
+//	    -sessions 8 -memory-budget 268435456 -max-rss 2147483648 \
+//	    -require-dedup -out BENCH_$(date +%F)-loadgen.json
+//
+// Exit status is non-zero on any 5xx (unless -fail-on-5xx=false), any
+// byte divergence from the serial reconstruction, zero dedup hits under
+// -require-dedup, or RSS above -max-rss.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"marioh"
+	"marioh/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// counters aggregates the outcome of every issued request.
+type counters struct {
+	ok, throttled, clientErr, serverErr, mismatches atomic.Int64
+}
+
+func run() error {
+	base := flag.String("server", "", "base URL of a running mariohd (empty = boot one in-process)")
+	requests := flag.Int("requests", 200, "total reconstruct requests to issue")
+	concurrency := flag.Int("concurrency", 16, "concurrent client workers")
+	tenants := flag.Int("tenants", 4, "distinct tenant identities to spread the load over")
+	unique := flag.Int("unique", 8, "distinct request shapes (seeds); the rest are duplicates exercising dedup")
+	sessions := flag.Int("sessions", 8, "incremental sessions to churn (create, apply, delete)")
+	workers := flag.Int("workers", 0, "in-process server worker-pool size (0 = GOMAXPROCS)")
+	memoryBudget := flag.Int64("memory-budget", 0, "in-process server retained-memory budget in bytes (0 = unlimited)")
+	dedupCache := flag.Int64("dedup-cache", 0, "in-process server dedup cache bytes (0 = 64 MiB default)")
+	maxRSS := flag.Int64("max-rss", 0, "fail when the daemon's marioh_rss_bytes exceeds this (0 = no bound)")
+	requireDedup := flag.Bool("require-dedup", false, "fail when the run produced zero dedup hits")
+	failOn5xx := flag.Bool("fail-on-5xx", true, "fail when any request answered 5xx")
+	out := flag.String("out", "", "write the BENCH summary JSON here (empty = stdout only)")
+	note := flag.String("note", "", "free-form note recorded in the summary")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", flag.Args())
+	}
+	if *requests <= 0 || *concurrency <= 0 || *tenants <= 0 || *unique <= 0 {
+		return fmt.Errorf("-requests, -concurrency, -tenants and -unique must be positive")
+	}
+	if *unique > *requests {
+		*unique = *requests
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Boot the daemon in-process unless a remote one was given: loadgen is
+	// both a CI smoke (in-process, deterministic environment) and a
+	// capacity probe for deployed daemons.
+	baseURL := *base
+	var shutdown func() error
+	if baseURL == "" {
+		root, hardStop := context.WithCancel(context.Background())
+		defer hardStop()
+		serveCtx, stopServe := context.WithCancel(root)
+		defer stopServe()
+		srv, err := server.New(root, server.Config{
+			Addr:            "127.0.0.1:0",
+			Workers:         *workers,
+			QueueDepth:      2 * *concurrency,
+			MemoryBudget:    *memoryBudget,
+			DedupCacheBytes: *dedupCache,
+			DataDir:         "", // memory-only sessions; durability has its own checks
+			Logf:            func(string, ...any) {},
+		})
+		if err != nil {
+			return err
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.ListenAndServe(serveCtx) }()
+		baseURL = "http://" + srv.Addr()
+		if srv.Addr() == "" {
+			stopServe()
+			return fmt.Errorf("in-process server failed to bind: %w", <-done)
+		}
+		shutdown = func() error {
+			stopServe()
+			return <-done
+		}
+		fmt.Printf("loadgen: in-process mariohd on %s\n", baseURL)
+	}
+
+	// One model, trained server-side from a generated dataset; the load's
+	// target is the dataset's projected target hypergraph.
+	ds, err := marioh.GenerateDataset("hosts", 1)
+	if err != nil {
+		return err
+	}
+	src, tgt := ds.Source.Reduced(), ds.Target.Reduced()
+	var srcBuf, tgtBuf bytes.Buffer
+	if err := src.Write(&srcBuf); err != nil {
+		return err
+	}
+	if err := tgt.Project().Write(&tgtBuf); err != nil {
+		return err
+	}
+	target := tgtBuf.String()
+
+	admin := server.NewClient(baseURL)
+	job, err := admin.Train(ctx, server.TrainRequest{
+		Source: srcBuf.String(), SaveAs: "loadgen", Options: server.OptionSpec{Seed: 1, Epochs: 25},
+	})
+	if err != nil {
+		return fmt.Errorf("training: %w", err)
+	}
+	trainCtx, cancelTrain := context.WithTimeout(ctx, 5*time.Minute)
+	done, err := admin.WaitJob(trainCtx, job.ID, 50*time.Millisecond)
+	cancelTrain()
+	if err != nil {
+		return fmt.Errorf("training: %w", err)
+	}
+	var trained server.TrainResult
+	if err := server.JobResult(done, &trained); err != nil {
+		return fmt.Errorf("training: %w", err)
+	}
+
+	// Serial single-process goldens: pull the trained model and run each
+	// request shape through the library — the served bytes must equal
+	// these exactly, no matter how the requests were collapsed, cached or
+	// spread over tenants.
+	rawModel, err := admin.PullModel(ctx, "loadgen")
+	if err != nil {
+		return err
+	}
+	model, err := marioh.LoadModel(bytes.NewReader(rawModel))
+	if err != nil {
+		return err
+	}
+	parsedTarget, err := marioh.ReadGraph(bytes.NewReader([]byte(target)))
+	if err != nil {
+		return err
+	}
+	goldens := make([]string, *unique)
+	for i := range goldens {
+		lib, err := marioh.New(marioh.WithSeed(int64(i+1)), marioh.WithModel(model))
+		if err != nil {
+			return err
+		}
+		res, err := lib.Reconstruct(ctx, parsedTarget)
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := res.Hypergraph.Write(&buf); err != nil {
+			return err
+		}
+		goldens[i] = buf.String()
+	}
+
+	// Concurrent reconstruction load: workers pull request indices off a
+	// channel; request i uses shape i%unique and tenant i%tenants, so
+	// identical shapes hit the daemon concurrently from several tenants.
+	var cnt counters
+	recLat := make([]time.Duration, *requests)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	clients := make([]*server.Client, *concurrency)
+	for w := range clients {
+		c := server.NewClient(baseURL)
+		c.Tenant = fmt.Sprintf("tenant-%d", w%*tenants)
+		c.MaxRetries = -1 // measure the daemon's answers, not the retry loop
+		clients[w] = c
+	}
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := clients[w]
+			for i := range work {
+				shape := i % *unique
+				t0 := time.Now()
+				resp, _, err := c.Reconstruct(ctx, server.ReconstructRequest{
+					Model: "loadgen", Target: target,
+					Options: server.OptionSpec{Seed: int64(shape + 1)},
+				})
+				recLat[i] = time.Since(t0)
+				classify(&cnt, err)
+				if err != nil || resp == nil {
+					continue
+				}
+				if resp.Result.Hypergraph != goldens[shape] {
+					cnt.mismatches.Add(1)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < *requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	recWall := time.Since(start)
+
+	// Session churn: create, one initial-build apply (whose bytes must
+	// equal the seed's serial reconstruction), delete. Sequential per
+	// session but spread across tenants and concurrent with nothing else —
+	// session quota and LRU behavior under load has its own httptest
+	// coverage; here sessions exercise the budget's sessions pool.
+	applyLat := make([]time.Duration, 0, *sessions)
+	for i := 0; i < *sessions; i++ {
+		c := clients[i%len(clients)]
+		shape := i % *unique
+		info, err := c.CreateSession(ctx, server.SessionRequest{
+			Model: "loadgen", Graph: target, Options: server.OptionSpec{Seed: int64(shape + 1)},
+		})
+		if err != nil {
+			classify(&cnt, err)
+			continue
+		}
+		t0 := time.Now()
+		resp, _, err := c.ApplySession(ctx, info.ID, server.SessionApplyRequest{})
+		applyLat = append(applyLat, time.Since(t0))
+		classify(&cnt, err)
+		if err == nil && resp != nil && resp.Result.Hypergraph != goldens[shape] {
+			cnt.mismatches.Add(1)
+		}
+		if err := c.DeleteSession(ctx, info.ID); err != nil {
+			classify(&cnt, err)
+		}
+	}
+
+	// Scrape the daemon's own accounting.
+	metrics, err := scrapeMetrics(baseURL)
+	if err != nil {
+		return err
+	}
+	rss := metrics["marioh_rss_bytes"]
+	dedupHits := metrics["marioh_dedup_hits_total"]
+	dedupMisses := metrics["marioh_dedup_misses_total"]
+
+	if shutdown != nil {
+		if err := shutdown(); err != nil {
+			return fmt.Errorf("draining the in-process server: %w", err)
+		}
+	}
+
+	recP50, recP99 := percentiles(recLat)
+	appP50, appP99 := percentiles(applyLat)
+	fmt.Printf("loadgen: %d reconstructs in %s + %d session applies (total %d ok, %d throttled, %d 4xx, %d 5xx, %d mismatches)\n",
+		*requests, recWall.Round(time.Millisecond), len(applyLat),
+		cnt.ok.Load(), cnt.throttled.Load(), cnt.clientErr.Load(), cnt.serverErr.Load(), cnt.mismatches.Load())
+	fmt.Printf("loadgen: reconstruct p50 %s p99 %s; session apply p50 %s p99 %s\n",
+		recP50.Round(time.Microsecond), recP99.Round(time.Microsecond),
+		appP50.Round(time.Microsecond), appP99.Round(time.Microsecond))
+	fmt.Printf("loadgen: dedup %d hits / %d misses; daemon RSS %d bytes\n",
+		int64(dedupHits), int64(dedupMisses), int64(rss))
+
+	summary := map[string]any{
+		"date":    time.Now().Format("2006-01-02"),
+		"pr":      "multi-tenant serving: admission control, memory budget, result dedup",
+		"go":      runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		"command": fmt.Sprintf("go run ./cmd/loadgen -requests %d -concurrency %d -tenants %d -unique %d -sessions %d", *requests, *concurrency, *tenants, *unique, *sessions),
+		"note":    *note,
+		"benchmarks": []map[string]any{
+			{"name": "BenchmarkLoadgen/reconstruct_p50", "ns_op": recP50.Nanoseconds()},
+			{"name": "BenchmarkLoadgen/reconstruct_p99", "ns_op": recP99.Nanoseconds()},
+			{"name": "BenchmarkLoadgen/session_apply_p50", "ns_op": appP50.Nanoseconds()},
+			{"name": "BenchmarkLoadgen/session_apply_p99", "ns_op": appP99.Nanoseconds()},
+		},
+		"serving": map[string]any{
+			"requests":            *requests,
+			"concurrency":         *concurrency,
+			"tenants":             *tenants,
+			"unique_shapes":       *unique,
+			"sessions":            *sessions,
+			"wall_seconds":        recWall.Seconds(),
+			"ok":                  cnt.ok.Load(),
+			"throttled_429":       cnt.throttled.Load(),
+			"errors_4xx":          cnt.clientErr.Load(),
+			"errors_5xx":          cnt.serverErr.Load(),
+			"byte_mismatches":     cnt.mismatches.Load(),
+			"dedup_hits":          int64(dedupHits),
+			"dedup_misses":        int64(dedupMisses),
+			"rss_bytes":           int64(rss),
+			"memory_budget_bytes": *memoryBudget,
+		},
+	}
+	raw, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("loadgen: summary -> %s\n", *out)
+	} else {
+		os.Stdout.Write(raw)
+	}
+
+	// Gate verdicts, worst first: divergence from the serial bytes is a
+	// correctness failure no flag can waive.
+	if n := cnt.mismatches.Load(); n > 0 {
+		return fmt.Errorf("%d response(s) diverged from the serial library reconstruction", n)
+	}
+	if *failOn5xx && cnt.serverErr.Load() > 0 {
+		return fmt.Errorf("%d request(s) answered 5xx", cnt.serverErr.Load())
+	}
+	if n := cnt.clientErr.Load(); n > 0 {
+		return fmt.Errorf("%d request(s) answered unexpected 4xx", n)
+	}
+	if *requireDedup && dedupHits == 0 {
+		return fmt.Errorf("zero dedup hits across %d requests over %d shapes", *requests, *unique)
+	}
+	if *maxRSS > 0 && int64(rss) > *maxRSS {
+		return fmt.Errorf("daemon RSS %d bytes exceeds -max-rss %d", int64(rss), *maxRSS)
+	}
+	return nil
+}
+
+// classify buckets one request outcome. 429s are expected under
+// admission pressure and never fail the run; other 4xx are client bugs
+// in the harness and 5xx are the daemon's failures.
+func classify(cnt *counters, err error) {
+	if err == nil {
+		cnt.ok.Add(1)
+		return
+	}
+	var aerr *server.APIError
+	switch {
+	case asAPIError(err, &aerr) && aerr.Status == http.StatusTooManyRequests:
+		cnt.throttled.Add(1)
+	case asAPIError(err, &aerr) && aerr.Status >= 500:
+		cnt.serverErr.Add(1)
+	case asAPIError(err, &aerr):
+		cnt.clientErr.Add(1)
+	default:
+		cnt.serverErr.Add(1) // transport failure: the daemon's problem
+	}
+}
+
+// asAPIError is errors.As without importing errors twice in call sites.
+func asAPIError(err error, target **server.APIError) bool {
+	for err != nil {
+		if aerr, ok := err.(*server.APIError); ok {
+			*target = aerr
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// percentiles returns the p50 and p99 of the recorded latencies.
+func percentiles(lat []time.Duration) (p50, p99 time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return idx(0.50), idx(0.99)
+}
+
+// metricLine matches an un-labelled Prometheus sample.
+var metricLine = regexp.MustCompile(`(?m)^([a-z_]+) ([0-9.e+-]+)$`)
+
+// scrapeMetrics fetches /metrics and returns every label-free sample.
+func scrapeMetrics(base string) (map[string]float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, m := range metricLine.FindAllStringSubmatch(string(raw), -1) {
+		if v, err := strconv.ParseFloat(m[2], 64); err == nil {
+			out[m[1]] = v
+		}
+	}
+	return out, nil
+}

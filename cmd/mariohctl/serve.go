@@ -27,6 +27,13 @@ func cmdServe(ctx context.Context, args []string) error {
 	syncLimit := fs.Int("sync-edge-limit", 20000, "largest target (edges) served synchronously")
 	sessionLimit := fs.Int("session-limit", 16, "open incremental sessions kept (LRU eviction past it)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant request rate limit in requests/second (0 = unlimited)")
+	tenantBurst := fs.Int("tenant-burst", 0, "per-tenant rate-limit burst (0 = rate rounded up)")
+	tenantMaxJobs := fs.Int("tenant-max-jobs", 0, "per-tenant concurrent jobs (0 = unlimited)")
+	tenantMaxSessions := fs.Int("tenant-max-sessions", 0, "per-tenant open sessions (0 = unlimited)")
+	tenantMaxQueuedBytes := fs.Int64("tenant-max-queued-bytes", 0, "per-tenant queued request-payload bytes (0 = unlimited)")
+	memoryBudget := fs.Int64("memory-budget", 0, "global retained-memory budget in bytes (0 = unlimited)")
+	dedupCache := fs.Int64("dedup-cache", 0, "dedup result cache bytes (0 = 64 MiB default, negative disables)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
@@ -44,6 +51,14 @@ func cmdServe(ctx context.Context, args []string) error {
 		SyncEdgeLimit:   *syncLimit,
 		SessionLimit:    *sessionLimit,
 		ShutdownTimeout: *shutdownTimeout,
+
+		TenantRate:           *tenantRate,
+		TenantBurst:          *tenantBurst,
+		TenantMaxJobs:        *tenantMaxJobs,
+		TenantMaxSessions:    *tenantMaxSessions,
+		TenantMaxQueuedBytes: *tenantMaxQueuedBytes,
+		MemoryBudget:         *memoryBudget,
+		DedupCacheBytes:      *dedupCache,
 	})
 	if err != nil {
 		return err
@@ -51,14 +66,24 @@ func cmdServe(ctx context.Context, args []string) error {
 	return srv.ListenAndServe(ctx)
 }
 
-// remoteFlags are the flags shared by every client subcommand.
-func remoteFlags(fs *flag.FlagSet) *string {
-	return fs.String("server", "http://127.0.0.1:8080", "base URL of a running mariohd")
+// remoteFlags are the flags shared by every client subcommand: the
+// daemon's base URL and the tenant identity sent with every request.
+func remoteFlags(fs *flag.FlagSet) (base, tenant *string) {
+	base = fs.String("server", "http://127.0.0.1:8080", "base URL of a running mariohd")
+	tenant = fs.String("tenant", "", "tenant identity for the daemon's admission control (empty = \"default\")")
+	return base, tenant
+}
+
+// remoteClient builds the API client for a remote subcommand.
+func remoteClient(base, tenant string) *server.Client {
+	c := server.NewClient(base)
+	c.Tenant = tenant
+	return c
 }
 
 func cmdRemoteReconstruct(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("remote-reconstruct", flag.ContinueOnError)
-	base := remoteFlags(fs)
+	base, tenant := remoteFlags(fs)
 	model := fs.String("model", "", "registry model name (see models / push-model)")
 	targetPath := fs.String("target", "", "target projected graph file(s), comma-separated")
 	out := fs.String("out", "reconstructed.hg", "output hypergraph file (batch runs insert the target index)")
@@ -73,7 +98,7 @@ func cmdRemoteReconstruct(ctx context.Context, args []string) error {
 	if *model == "" || *targetPath == "" {
 		return usageError{msg: "remote-reconstruct: -model and -target are required"}
 	}
-	c := server.NewClient(*base)
+	c := remoteClient(*base, *tenant)
 	opts := server.OptionSpec{Seed: *seed, Variant: *variant, Shards: *shards, ShardTarget: *shardTarget}
 
 	paths := strings.Split(*targetPath, ",")
@@ -148,14 +173,14 @@ func cmdRemoteReconstruct(ctx context.Context, args []string) error {
 
 func cmdJobs(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
-	base := remoteFlags(fs)
+	base, tenant := remoteFlags(fs)
 	id := fs.String("id", "", "show one job instead of listing all")
 	cancelID := fs.String("cancel", "", "request cancellation of a job")
 	watch := fs.String("watch", "", "stream a job's SSE progress events to stdout")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
-	c := server.NewClient(*base)
+	c := remoteClient(*base, *tenant)
 	switch {
 	case *cancelID != "":
 		info, err := c.CancelJob(ctx, *cancelID)
@@ -165,7 +190,7 @@ func cmdJobs(ctx context.Context, args []string) error {
 		fmt.Printf("%s %s %s\n", info.ID, info.Kind, info.Status)
 		return nil
 	case *watch != "":
-		return watchJob(ctx, *base, *watch)
+		return watchJob(ctx, c, *watch)
 	case *id != "":
 		info, err := c.Job(ctx, *id)
 		if err != nil {
@@ -197,14 +222,14 @@ func printJob(info server.JobInfo) {
 
 func cmdModels(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("models", flag.ContinueOnError)
-	base := remoteFlags(fs)
+	base, tenant := remoteFlags(fs)
 	pull := fs.String("pull", "", "download a model to -out instead of listing")
 	out := fs.String("out", "model.json", "output file for -pull")
 	del := fs.String("delete", "", "delete a model")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
-	c := server.NewClient(*base)
+	c := remoteClient(*base, *tenant)
 	switch {
 	case *pull != "":
 		raw, err := c.PullModel(ctx, *pull)
@@ -237,7 +262,7 @@ func cmdModels(ctx context.Context, args []string) error {
 
 func cmdPushModel(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("push-model", flag.ContinueOnError)
-	base := remoteFlags(fs)
+	base, tenant := remoteFlags(fs)
 	name := fs.String("name", "", "registry name to store the model under")
 	modelPath := fs.String("model", "model.json", "model file saved by `mariohctl train`")
 	if err := parse(fs, args); err != nil {
@@ -250,7 +275,7 @@ func cmdPushModel(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	c := server.NewClient(*base)
+	c := remoteClient(*base, *tenant)
 	info, err := c.PushModel(ctx, *name, raw)
 	if err != nil {
 		return err
@@ -260,20 +285,22 @@ func cmdPushModel(ctx context.Context, args []string) error {
 }
 
 // watchJob streams a job's SSE events as plain lines.
-func watchJob(ctx context.Context, base, id string) error {
-	c := server.NewClient(base)
+func watchJob(ctx context.Context, c *server.Client, id string) error {
 	// Verify the job exists for a friendly error before streaming.
 	if _, err := c.Job(ctx, id); err != nil {
 		return err
 	}
-	return streamEvents(ctx, strings.TrimRight(base, "/")+"/v1/jobs/"+id+"/events")
+	return streamEvents(ctx, c.Base+"/v1/jobs/"+id+"/events", c.Tenant)
 }
 
 // streamEvents prints an SSE stream's frames until it ends.
-func streamEvents(ctx context.Context, url string) error {
+func streamEvents(ctx context.Context, url, tenant string) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
+	}
+	if tenant != "" {
+		req.Header.Set(server.TenantHeader, tenant)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {

@@ -66,6 +66,7 @@ func splitBatches(ops []marioh.DeltaOp, size int) [][]marioh.DeltaOp {
 func cmdSession(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("session", flag.ContinueOnError)
 	base := fs.String("server", "", "base URL of a running mariohd (empty = in-process session)")
+	tenant := fs.String("tenant", "", "tenant identity for the daemon's admission control (empty = \"default\")")
 	modelPath := fs.String("model", "model.json", "trained model file (local) or registry model name (remote)")
 	graphPath := fs.String("graph", "", "base projected graph file")
 	deltaPath := fs.String("deltas", "", "edge-delta stream file (empty = initial build only)")
@@ -118,7 +119,7 @@ func cmdSession(ctx context.Context, args []string) error {
 			Shards:      *sf.shards,
 			ShardTarget: *sf.shardTarget,
 		}
-		return remoteSession(ctx, *base, *modelPath, *graphPath, *sessionID, spec, batches, *out, *keep)
+		return remoteSession(ctx, remoteClient(*base, *tenant), *modelPath, *graphPath, *sessionID, spec, batches, *out, *keep)
 	}
 
 	mf, err := os.Open(*modelPath)
@@ -148,7 +149,7 @@ func cmdSession(ctx context.Context, args []string) error {
 	switch {
 	case *dir != "" && (*resume || marioh.HasDurableSession(*dir)):
 		dopts := marioh.DurableOptions{Dir: *dir, NoFsync: *noFsync, SnapshotEvery: *snapEvery, Logf: logNotice}
-		if sess, err = marioh.ResumeSession(r, dopts); err != nil {
+		if sess, err = r.NewSession(ctx, marioh.SessionConfig{Durable: &dopts, Resume: true}); err != nil {
 			return err
 		}
 		st := sess.Stats()
@@ -165,12 +166,12 @@ func cmdSession(ctx context.Context, args []string) error {
 		}
 	case *dir != "":
 		dopts := marioh.DurableOptions{Dir: *dir, NoFsync: *noFsync, SnapshotEvery: *snapEvery, Logf: logNotice}
-		if sess, err = marioh.OpenDurableSession(r, g, dopts); err != nil {
+		if sess, err = r.NewSession(ctx, marioh.SessionConfig{Graph: g, Durable: &dopts}); err != nil {
 			return err
 		}
 		fmt.Printf("opened durable session in %s\n", *dir)
 	default:
-		if sess, err = marioh.OpenSession(r, g); err != nil {
+		if sess, err = r.NewSession(ctx, marioh.SessionConfig{Graph: g}); err != nil {
 			return err
 		}
 	}
@@ -262,8 +263,7 @@ func applyOpTo(g *marioh.Graph, op marioh.DeltaOp) {
 // durable session transparently) instead of creating one; every apply
 // carries a Seq guard so an ambiguous retry can never double-apply a
 // batch.
-func remoteSession(ctx context.Context, base, model, graphPath, sessionID string, spec server.OptionSpec, batches [][]marioh.DeltaOp, out string, keep bool) error {
-	c := server.NewClient(base)
+func remoteSession(ctx context.Context, c *server.Client, model, graphPath, sessionID string, spec server.OptionSpec, batches [][]marioh.DeltaOp, out string, keep bool) error {
 	var info server.SessionInfo
 	var err error
 	if sessionID != "" {

@@ -8,6 +8,13 @@
 // through the library API: the handlers call the exact public
 // Reconstructor entry points with the options decoded from the request.
 //
+// Multi-tenant serving: callers identify themselves with the
+// X-Marioh-Tenant header ("default" when absent). The -tenant-rate,
+// -tenant-max-jobs, -tenant-max-sessions and -tenant-max-queued-bytes
+// flags bound each tenant's traffic (over-limit requests answer 429 with
+// a Retry-After); -memory-budget caps the bytes the daemon retains
+// across session engines, models, job results and the dedup cache.
+//
 // Usage:
 //
 //	mariohd -addr :8080 -models-dir ./models
@@ -43,6 +50,13 @@ func main() {
 	walFsync := flag.Bool("wal-fsync", true, "fsync the session WAL before acknowledging each apply")
 	snapshotEvery := flag.Int("snapshot-every", 8, "WAL records between engine snapshots for durable sessions")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant request rate limit in requests/second (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant rate-limit burst (token bucket size; 0 = rate rounded up)")
+	tenantMaxJobs := flag.Int("tenant-max-jobs", 0, "per-tenant concurrent jobs, queued + running (0 = unlimited)")
+	tenantMaxSessions := flag.Int("tenant-max-sessions", 0, "per-tenant open incremental sessions (0 = unlimited)")
+	tenantMaxQueuedBytes := flag.Int64("tenant-max-queued-bytes", 0, "per-tenant queued request-payload bytes (0 = unlimited)")
+	memoryBudget := flag.Int64("memory-budget", 0, "global retained-memory budget in bytes across sessions, models, results and the dedup cache (0 = unlimited)")
+	dedupCache := flag.Int64("dedup-cache", 0, "content-addressed reconstruction result cache size in bytes (0 = 64 MiB default, negative disables retention)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "mariohd: unexpected arguments %q\n", flag.Args())
@@ -71,6 +85,14 @@ func main() {
 		WALNoFsync:      !*walFsync,
 		SnapshotEvery:   *snapshotEvery,
 		ShutdownTimeout: *shutdownTimeout,
+
+		TenantRate:           *tenantRate,
+		TenantBurst:          *tenantBurst,
+		TenantMaxJobs:        *tenantMaxJobs,
+		TenantMaxSessions:    *tenantMaxSessions,
+		TenantMaxQueuedBytes: *tenantMaxQueuedBytes,
+		MemoryBudget:         *memoryBudget,
+		DedupCacheBytes:      *dedupCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mariohd:", err)

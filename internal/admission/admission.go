@@ -1,0 +1,250 @@
+// Package admission implements mariohd's multi-tenant serving controls:
+// per-tenant token-bucket rate limits and quotas (concurrent jobs, open
+// sessions, queued request bytes), a global byte-metered memory budget,
+// and a content-addressed single-flight result cache.
+//
+// The daemon historically trusted its callers — any client could flood
+// the job queue, open unbounded sessions, and recompute identical
+// deterministic reconstructions from scratch. This package is the
+// enforcement point: over-quota work is refused up front with an
+// advisory retry delay (the server maps rejections to 429 +
+// Retry-After), memory consumers are metered in bytes so eviction can be
+// cost-based instead of count-based, and — because reconstruction is
+// deterministic — identical (graph fingerprint, model hash, options)
+// requests collapse into one computation whose bytes every waiter
+// shares.
+package admission
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the identity attributed to requests that carry no
+// tenant header.
+const DefaultTenant = "default"
+
+// tenantNameRe bounds tenant identifiers to metric-label-safe tokens.
+var tenantNameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// ValidTenant reports whether name is an acceptable tenant identifier
+// (empty means DefaultTenant and is validated by the caller's
+// substitution, not here).
+func ValidTenant(name string) bool { return tenantNameRe.MatchString(name) }
+
+// Rejection reasons carried by Error.Reason.
+const (
+	ReasonRate        = "rate"
+	ReasonJobs        = "jobs"
+	ReasonSessions    = "sessions"
+	ReasonQueuedBytes = "queued_bytes"
+)
+
+// Error is an admission rejection: the request was refused before any
+// work was queued or any state mutated, so a retry after RetryAfter is
+// always safe. The server maps it to 429 Too Many Requests.
+type Error struct {
+	Tenant     string
+	Reason     string // one of the Reason* constants
+	Limit      int64
+	RetryAfter time.Duration
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("admission: tenant %q over %s limit %d (retry after %s)",
+		e.Tenant, e.Reason, e.Limit, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Limits are the per-tenant admission knobs. Zero values disable the
+// corresponding control, so the zero Limits admits everything — existing
+// single-tenant deployments keep working unconfigured.
+type Limits struct {
+	// Rate is the steady-state request admission rate (requests/second)
+	// per tenant; 0 disables rate limiting.
+	Rate float64
+	// Burst is the token-bucket capacity; 0 derives max(1, ceil(Rate)).
+	Burst int
+	// MaxJobs bounds a tenant's concurrently queued+running jobs
+	// (including synchronous inline reconstructions); 0 = unlimited.
+	MaxJobs int
+	// MaxSessions bounds a tenant's open sessions (parked durable
+	// sessions still count — they belong to the tenant until deleted);
+	// 0 = unlimited.
+	MaxSessions int
+	// MaxQueuedBytes bounds the total request-body bytes a tenant may
+	// have queued or running at once; 0 = unlimited.
+	MaxQueuedBytes int64
+}
+
+// tenantState is one tenant's live accounting.
+type tenantState struct {
+	tokens      float64   // guarded by Controller.mu
+	last        time.Time // guarded by Controller.mu; last refill stamp
+	jobs        int       // guarded by Controller.mu
+	sessions    int       // guarded by Controller.mu
+	queuedBytes int64     // guarded by Controller.mu
+}
+
+// idleLocked reports whether the state carries no live accounting (safe
+// to forget once its bucket is full again); callers hold Controller.mu.
+func (t *tenantState) idleLocked(burst float64) bool {
+	return t.jobs == 0 && t.sessions == 0 && t.queuedBytes == 0 && t.tokens >= burst
+}
+
+// Controller enforces per-tenant Limits. The zero-value Limits admit
+// everything. A Controller is safe for concurrent use.
+type Controller struct {
+	limits Limits
+	burst  float64
+	now    func() time.Time // test hook; time.Now by default
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState // guarded by mu
+}
+
+// NewController builds a Controller enforcing limits.
+func NewController(limits Limits) *Controller {
+	burst := float64(limits.Burst)
+	if burst <= 0 {
+		burst = math.Max(1, math.Ceil(limits.Rate))
+	}
+	return &Controller{
+		limits:  limits,
+		burst:   burst,
+		now:     time.Now,
+		tenants: map[string]*tenantState{},
+	}
+}
+
+// state returns (creating if needed) the accounting for tenant; callers
+// hold c.mu.
+func (c *Controller) state(tenant string) *tenantState {
+	t, ok := c.tenants[tenant]
+	if !ok {
+		t = &tenantState{tokens: c.burst, last: c.now()}
+		c.tenants[tenant] = t
+	}
+	return t
+}
+
+// refill advances t's token bucket to now; callers hold c.mu.
+func (c *Controller) refill(t *tenantState, now time.Time) {
+	if c.limits.Rate <= 0 {
+		return
+	}
+	if dt := now.Sub(t.last).Seconds(); dt > 0 {
+		t.tokens = math.Min(c.burst, t.tokens+dt*c.limits.Rate)
+	}
+	t.last = now
+}
+
+// forget drops idle accounting so the tenant map stays bounded by the
+// set of tenants with live work or drained buckets; callers hold c.mu.
+func (c *Controller) forget(tenant string, t *tenantState) {
+	if t.idleLocked(c.burst) {
+		delete(c.tenants, tenant)
+	}
+}
+
+// AllowRequest spends one rate token for tenant, rejecting with an
+// *Error (reason "rate") carrying the time until the next token when the
+// bucket is empty.
+func (c *Controller) AllowRequest(tenant string) error {
+	if c.limits.Rate <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.state(tenant)
+	c.refill(t, c.now())
+	if t.tokens >= 1 {
+		t.tokens--
+		return nil
+	}
+	wait := time.Duration((1 - t.tokens) / c.limits.Rate * float64(time.Second))
+	return &Error{Tenant: tenant, Reason: ReasonRate, Limit: int64(c.limits.Rate), RetryAfter: wait}
+}
+
+// retryQuota is the advisory delay attached to quota (not rate)
+// rejections: the bound frees when outstanding work finishes, whose
+// duration the controller cannot know.
+const retryQuota = time.Second
+
+// AcquireJob claims one of tenant's concurrent-job slots and charges
+// bytes against its queued-bytes bound. On success the returned release
+// must be called exactly once when the job reaches a terminal state; on
+// rejection release is nil.
+func (c *Controller) AcquireJob(tenant string, bytes int64) (release func(), err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.state(tenant)
+	if c.limits.MaxJobs > 0 && t.jobs >= c.limits.MaxJobs {
+		err := &Error{Tenant: tenant, Reason: ReasonJobs, Limit: int64(c.limits.MaxJobs), RetryAfter: retryQuota}
+		c.forget(tenant, t)
+		return nil, err
+	}
+	if c.limits.MaxQueuedBytes > 0 && t.queuedBytes+bytes > c.limits.MaxQueuedBytes {
+		err := &Error{Tenant: tenant, Reason: ReasonQueuedBytes, Limit: c.limits.MaxQueuedBytes, RetryAfter: retryQuota}
+		c.forget(tenant, t)
+		return nil, err
+	}
+	t.jobs++
+	t.queuedBytes += bytes
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			t.jobs--
+			t.queuedBytes -= bytes
+			c.forget(tenant, t)
+		})
+	}, nil
+}
+
+// AcquireSession claims one of tenant's session slots; ReleaseSession
+// frees it when the session is deleted (not when it is parked — a parked
+// durable session still belongs to its tenant).
+func (c *Controller) AcquireSession(tenant string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.state(tenant)
+	if c.limits.MaxSessions > 0 && t.sessions >= c.limits.MaxSessions {
+		err := &Error{Tenant: tenant, Reason: ReasonSessions, Limit: int64(c.limits.MaxSessions), RetryAfter: retryQuota}
+		c.forget(tenant, t)
+		return err
+	}
+	t.sessions++
+	return nil
+}
+
+// AdoptSession counts a session recovered from disk against its tenant
+// without enforcing the bound (recovered state must never be refused at
+// startup — the quota re-applies to new opens).
+func (c *Controller) AdoptSession(tenant string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state(tenant).sessions++
+}
+
+// ReleaseSession frees one of tenant's session slots.
+func (c *Controller) ReleaseSession(tenant string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.state(tenant)
+	if t.sessions > 0 {
+		t.sessions--
+	}
+	c.forget(tenant, t)
+}
+
+// ActiveTenants counts tenants with live accounting (for the
+// marioh_tenants_active gauge).
+func (c *Controller) ActiveTenants() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tenants)
+}

@@ -1,0 +1,199 @@
+package admission
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestValidTenant(t *testing.T) {
+	for _, ok := range []string{"default", "a", "team-1", "A.B_c-9"} {
+		if !ValidTenant(ok) {
+			t.Errorf("ValidTenant(%q) = false, want true", ok)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "-lead", ".lead", "has space", "semi;colon", "a/b", string(long)} {
+		if ValidTenant(bad) {
+			t.Errorf("ValidTenant(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestRateLimitRefill(t *testing.T) {
+	c := NewController(Limits{Rate: 2, Burst: 2})
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if err := c.AllowRequest("t"); err != nil {
+			t.Fatalf("request %d within burst rejected: %v", i, err)
+		}
+	}
+	err := c.AllowRequest("t")
+	var aerr *Error
+	if !errors.As(err, &aerr) {
+		t.Fatalf("over-rate request: got %v, want *admission.Error", err)
+	}
+	if aerr.Reason != ReasonRate || aerr.Tenant != "t" {
+		t.Fatalf("rejection = %+v, want reason=rate tenant=t", aerr)
+	}
+	// Empty bucket at 2 rps: next token in 500ms.
+	if aerr.RetryAfter <= 0 || aerr.RetryAfter > 500*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want in (0, 500ms]", aerr.RetryAfter)
+	}
+
+	// Advance past one token's worth of refill; admission resumes.
+	now = now.Add(600 * time.Millisecond)
+	if err := c.AllowRequest("t"); err != nil {
+		t.Fatalf("post-refill request rejected: %v", err)
+	}
+}
+
+func TestRateLimitPerTenantIsolation(t *testing.T) {
+	c := NewController(Limits{Rate: 1, Burst: 1})
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	if err := c.AllowRequest("a"); err != nil {
+		t.Fatalf("tenant a first request: %v", err)
+	}
+	if err := c.AllowRequest("a"); err == nil {
+		t.Fatal("tenant a second request admitted, want rate rejection")
+	}
+	if err := c.AllowRequest("b"); err != nil {
+		t.Fatalf("tenant b must have its own bucket: %v", err)
+	}
+}
+
+func TestJobQuota(t *testing.T) {
+	c := NewController(Limits{MaxJobs: 2})
+	rel1, err := c.AcquireJob("t", 10)
+	if err != nil {
+		t.Fatalf("job 1: %v", err)
+	}
+	rel2, err := c.AcquireJob("t", 10)
+	if err != nil {
+		t.Fatalf("job 2: %v", err)
+	}
+	if _, err := c.AcquireJob("t", 10); err == nil {
+		t.Fatal("job 3 admitted over MaxJobs=2")
+	} else {
+		var aerr *Error
+		if !errors.As(err, &aerr) || aerr.Reason != ReasonJobs {
+			t.Fatalf("rejection = %v, want reason=jobs", err)
+		}
+		if aerr.RetryAfter <= 0 {
+			t.Fatalf("quota rejection must carry a retry delay, got %v", aerr.RetryAfter)
+		}
+	}
+	rel1()
+	rel1() // release is idempotent
+	if rel3, err := c.AcquireJob("t", 10); err != nil {
+		t.Fatalf("slot freed by release still rejected: %v", err)
+	} else {
+		rel3()
+	}
+	rel2()
+	if n := c.ActiveTenants(); n != 0 {
+		t.Fatalf("idle tenant not forgotten: ActiveTenants = %d", n)
+	}
+}
+
+func TestQueuedBytesQuota(t *testing.T) {
+	c := NewController(Limits{MaxQueuedBytes: 100})
+	rel, err := c.AcquireJob("t", 80)
+	if err != nil {
+		t.Fatalf("first 80 bytes: %v", err)
+	}
+	if _, err := c.AcquireJob("t", 30); err == nil {
+		t.Fatal("80+30 admitted over MaxQueuedBytes=100")
+	} else {
+		var aerr *Error
+		if !errors.As(err, &aerr) || aerr.Reason != ReasonQueuedBytes {
+			t.Fatalf("rejection = %v, want reason=queued_bytes", err)
+		}
+	}
+	if rel2, err := c.AcquireJob("t", 20); err != nil {
+		t.Fatalf("exactly-at-limit acquire rejected: %v", err)
+	} else {
+		rel2()
+	}
+	rel()
+	if rel3, err := c.AcquireJob("t", 100); err != nil {
+		t.Fatalf("bytes freed by release still rejected: %v", err)
+	} else {
+		rel3()
+	}
+}
+
+func TestSessionQuota(t *testing.T) {
+	c := NewController(Limits{MaxSessions: 1})
+	if err := c.AcquireSession("t"); err != nil {
+		t.Fatalf("session 1: %v", err)
+	}
+	err := c.AcquireSession("t")
+	var aerr *Error
+	if !errors.As(err, &aerr) || aerr.Reason != ReasonSessions {
+		t.Fatalf("session 2 = %v, want reason=sessions", err)
+	}
+	// Recovered sessions are adopted past the bound, never refused.
+	c.AdoptSession("t")
+	c.ReleaseSession("t")
+	c.ReleaseSession("t")
+	if err := c.AcquireSession("t"); err != nil {
+		t.Fatalf("slot freed by release still rejected: %v", err)
+	}
+	c.ReleaseSession("t")
+}
+
+func TestZeroLimitsAdmitEverything(t *testing.T) {
+	c := NewController(Limits{})
+	for i := 0; i < 100; i++ {
+		if err := c.AllowRequest("t"); err != nil {
+			t.Fatalf("zero limits rejected request: %v", err)
+		}
+		if _, err := c.AcquireJob("t", 1<<30); err != nil {
+			t.Fatalf("zero limits rejected job: %v", err)
+		}
+		if err := c.AcquireSession("t"); err != nil {
+			t.Fatalf("zero limits rejected session: %v", err)
+		}
+	}
+}
+
+func TestBudgetPools(t *testing.T) {
+	b := NewBudget(100)
+	if got := b.Charge("sessions", 60); got != 60 {
+		t.Fatalf("Charge = %d, want 60", got)
+	}
+	b.Charge("models", 30)
+	if b.Over() != 0 {
+		t.Fatalf("under budget but Over = %d", b.Over())
+	}
+	b.Charge("results", 50)
+	if over := b.Over(); over != 40 {
+		t.Fatalf("Over = %d, want 40", over)
+	}
+	b.Charge("sessions", -60)
+	if b.Over() != 0 {
+		t.Fatalf("after release Over = %d, want 0", b.Over())
+	}
+	// Releases floor at zero rather than going negative.
+	b.Charge("models", -1000)
+	if used := b.Used(); used != 50 {
+		t.Fatalf("Used = %d, want 50 (results pool only)", used)
+	}
+	snap := b.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Pool >= snap[i].Pool {
+			t.Fatalf("snapshot not sorted: %v", snap)
+		}
+	}
+	if unlimited := NewBudget(0); unlimited.Over() != 0 {
+		t.Fatal("unlimited budget reported Over > 0")
+	}
+}

@@ -1,0 +1,96 @@
+package admission
+
+import (
+	"sort"
+	"sync"
+)
+
+// Budget is a global byte budget shared by the daemon's memory
+// consumers. Consumers charge named pools ("sessions", "models",
+// "results", "dedup") as state is retained and release on eviction; the
+// server watches Over() after every charge and sheds cheapest-first
+// (dedup entries, then retained job results, then parked sessions).
+//
+// The budget is advisory accounting, not an allocator: charges are the
+// consumers' own size estimates, and Charge never fails — refusing to
+// account for memory already allocated would only hide it.
+type Budget struct {
+	total int64 // 0 = unlimited
+
+	mu    sync.Mutex
+	pools map[string]int64 // guarded by mu
+}
+
+// NewBudget builds a Budget with the given capacity in bytes; total <= 0
+// means metering only (never over budget).
+func NewBudget(total int64) *Budget {
+	if total < 0 {
+		total = 0
+	}
+	return &Budget{total: total, pools: map[string]int64{}}
+}
+
+// Charge adds n bytes (negative to release) to the named pool and
+// returns the new global total.
+func (b *Budget) Charge(pool string, n int64) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v := b.pools[pool] + n
+	if v < 0 {
+		v = 0
+	}
+	b.pools[pool] = v
+	return b.usedLocked()
+}
+
+// usedLocked sums all pools; callers hold b.mu.
+func (b *Budget) usedLocked() int64 {
+	var sum int64
+	for _, v := range b.pools {
+		sum += v
+	}
+	return sum
+}
+
+// Used returns the current global total in bytes.
+func (b *Budget) Used() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.usedLocked()
+}
+
+// Total returns the configured capacity (0 = unlimited).
+func (b *Budget) Total() int64 { return b.total }
+
+// Over returns how many bytes the budget is past capacity (0 when under
+// budget or unlimited).
+func (b *Budget) Over() int64 {
+	if b.total <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if over := b.usedLocked() - b.total; over > 0 {
+		return over
+	}
+	return 0
+}
+
+// PoolBytes is one pool's share of the budget.
+type PoolBytes struct {
+	Pool  string
+	Bytes int64
+}
+
+// Snapshot returns every pool's usage sorted by pool name, for
+// deterministic metrics rendering.
+func (b *Budget) Snapshot() []PoolBytes {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]PoolBytes, 0, len(b.pools))
+	for p, v := range b.pools {
+		out = append(out, PoolBytes{Pool: p, Bytes: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pool < out[j].Pool })
+	return out
+}

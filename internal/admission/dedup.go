@@ -1,0 +1,204 @@
+package admission
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Cache is the content-addressed result cache with single-flight
+// collapse. Reconstruction is deterministic — byte-identical output for
+// identical (graph fingerprint, model hash, canonical options) — so a
+// result computed once can be served to every concurrent and subsequent
+// request for the same key.
+//
+// Concurrency model: the first Do for a key becomes the leader and runs
+// compute in a goroutine under a context derived from the cache's base
+// (the server's lifetime), NOT the leader's request context — if the
+// leader disconnects, waiters still get the result. Each joined request
+// holds a reference on the flight; a request abandoning (its own ctx
+// cancelled) drops its reference, and when the last reference is dropped
+// the flight's context is cancelled so orphaned computations stop.
+type Cache struct {
+	base     context.Context
+	maxBytes int64 // <= 0 disables retention (single-flight still collapses)
+	budget   *Budget
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // guarded by mu; value is *cacheEntry
+	lru     *list.List               // guarded by mu; front = most recent
+	flights map[string]*flight       // guarded by mu
+	bytes   int64                    // guarded by mu
+	stats   CacheStats               // guarded by mu
+}
+
+// CacheStats are the cumulative dedup counters (marioh_dedup_*).
+type CacheStats struct {
+	Hits      int64 // served without a new computation (cache hit or collapsed into a flight)
+	Misses    int64 // led a new computation
+	Waiters   int64 // subset of Hits that waited on an in-flight computation
+	Evictions int64 // entries dropped for capacity or budget pressure
+	Entries   int   // current retained results
+	Bytes     int64 // current retained bytes
+}
+
+type cacheEntry struct {
+	key  string
+	val  any
+	size int64
+}
+
+type flight struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+	refs   int // guarded by Cache.mu
+	val    any
+	err    error
+}
+
+// BudgetPoolDedup is the Budget pool the cache charges.
+const BudgetPoolDedup = "dedup"
+
+// NewCache builds a Cache retaining up to maxBytes of results. base
+// bounds computation lifetime (pass the server's root context); budget,
+// when non-nil, is charged for retained bytes under BudgetPoolDedup.
+func NewCache(base context.Context, maxBytes int64, budget *Budget) *Cache {
+	if base == nil {
+		base = context.Background() //lint:ctxflow cache lifetime default when caller passes none
+	}
+	return &Cache{
+		base:     base,
+		maxBytes: maxBytes,
+		budget:   budget,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+		flights:  map[string]*flight{},
+	}
+}
+
+// Do returns the result for key, computing it at most once across all
+// concurrent callers. compute receives a context tied to the cache base
+// and the set of interested callers (cancelled only when every caller
+// abandons); its size return meters retention. shared reports whether
+// the result came from cache or another caller's computation.
+func (c *Cache) Do(ctx context.Context, key string, compute func(context.Context) (any, int64, error)) (val any, shared bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		f.refs++
+		c.stats.Hits++
+		c.stats.Waiters++
+		c.mu.Unlock()
+		return c.wait(ctx, key, f, true)
+	}
+	c.stats.Misses++
+	fctx, cancel := context.WithCancel(c.base)
+	f := &flight{cancel: cancel, done: make(chan struct{}), refs: 1}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	go func() {
+		v, size, cerr := compute(fctx)
+		c.mu.Lock()
+		f.val, f.err = v, cerr
+		delete(c.flights, key)
+		if cerr == nil {
+			c.storeLocked(key, v, size)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	return c.wait(ctx, key, f, false)
+}
+
+// wait blocks until f completes or ctx is cancelled; on cancellation the
+// caller's reference is dropped (possibly cancelling the flight).
+func (c *Cache) wait(ctx context.Context, key string, f *flight, shared bool) (any, bool, error) {
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return nil, shared, f.err
+		}
+		return f.val, shared, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.refs--
+		if f.refs <= 0 {
+			f.cancel()
+		}
+		c.mu.Unlock()
+		return nil, shared, ctx.Err()
+	}
+}
+
+// storeLocked retains a computed result, evicting LRU entries past
+// capacity; callers hold c.mu.
+func (c *Cache) storeLocked(key string, val any, size int64) {
+	if c.maxBytes <= 0 || size <= 0 || size > c.maxBytes {
+		return
+	}
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, val: val, size: size})
+	c.bytes += size
+	if c.budget != nil {
+		c.budget.Charge(BudgetPoolDedup, size)
+	}
+	c.shrinkLocked(c.maxBytes)
+}
+
+// shrinkLocked evicts LRU entries until retained bytes <= target;
+// callers hold c.mu.
+func (c *Cache) shrinkLocked(target int64) {
+	for c.bytes > target {
+		el := c.lru.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*cacheEntry)
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		c.stats.Evictions++
+		if c.budget != nil {
+			c.budget.Charge(BudgetPoolDedup, -e.size)
+		}
+	}
+}
+
+// ShrinkTo evicts LRU entries until retained bytes <= target (0 empties
+// the cache). The server calls it first when shedding memory pressure —
+// cached results are the cheapest state to lose.
+func (c *Cache) ShrinkTo(target int64) {
+	if target < 0 {
+		target = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shrinkLocked(target)
+}
+
+// Bytes returns the currently retained result bytes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.Bytes = c.bytes
+	return s
+}

@@ -1,0 +1,289 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheSingleflightCollapse(t *testing.T) {
+	c := NewCache(context.Background(), 1<<20, nil)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+
+	const callers = 16
+	results := make([]string, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), "k", func(context.Context) (any, int64, error) {
+				computes.Add(1)
+				<-gate
+				return "payload", 7, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			results[i] = v.(string)
+		}(i)
+	}
+	// Let callers pile onto the flight before releasing the computation.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		var refs int
+		if f := c.flights["k"]; f != nil {
+			refs = f.refs
+		}
+		c.mu.Unlock()
+		if refs == callers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight refs never reached %d", callers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computations = %d, want 1 for %d concurrent callers", n, callers)
+	}
+	for i, r := range results {
+		if r != "payload" {
+			t.Fatalf("caller %d result = %q", i, r)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 || st.Waiters != callers-1 {
+		t.Fatalf("stats = %+v, want misses=1 hits=%d waiters=%d", st, callers-1, callers-1)
+	}
+	// Repeat request is a pure cache hit, no computation.
+	if v, shared, err := c.Do(context.Background(), "k", func(context.Context) (any, int64, error) {
+		t.Error("cache hit recomputed")
+		return nil, 0, nil
+	}); err != nil || !shared || v.(string) != "payload" {
+		t.Fatalf("cached Do = (%v, %v, %v)", v, shared, err)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(context.Background(), 1<<20, nil)
+	boom := errors.New("boom")
+	if _, _, err := c.Do(context.Background(), "k", func(context.Context) (any, int64, error) {
+		return nil, 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	var computes int
+	if v, _, err := c.Do(context.Background(), "k", func(context.Context) (any, int64, error) {
+		computes++
+		return "ok", 2, nil
+	}); err != nil || v.(string) != "ok" {
+		t.Fatalf("retry after error = (%v, %v)", v, err)
+	}
+	if computes != 1 {
+		t.Fatal("failed result was cached")
+	}
+}
+
+func TestCacheWaiterOutlivesLeaderCancel(t *testing.T) {
+	c := NewCache(context.Background(), 1<<20, nil)
+	gate := make(chan struct{})
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(leaderCtx, "k", func(fctx context.Context) (any, int64, error) {
+			<-gate
+			if fctx.Err() != nil {
+				return nil, 0, fctx.Err()
+			}
+			return "survived", 8, nil
+		})
+		leaderErr <- err
+	}()
+
+	// Wait for the flight to exist, then join as a waiter.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		_, ok := c.flights["k"]
+		c.mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flight never appeared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waiterVal := make(chan any, 1)
+	go func() {
+		v, _, err := c.Do(context.Background(), "k", func(context.Context) (any, int64, error) {
+			return nil, 0, errors.New("waiter must not compute")
+		})
+		if err != nil {
+			waiterVal <- err
+			return
+		}
+		waiterVal <- v
+	}()
+	// Give the waiter time to register its reference, then cancel the
+	// leader: the flight must keep running for the waiter.
+	for {
+		c.mu.Lock()
+		refs := 0
+		if f := c.flights["k"]; f != nil {
+			refs = f.refs
+		}
+		c.mu.Unlock()
+		if refs == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelLeader()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	close(gate)
+	switch v := (<-waiterVal).(type) {
+	case string:
+		if v != "survived" {
+			t.Fatalf("waiter got %q", v)
+		}
+	default:
+		t.Fatalf("waiter got %v, want result despite leader cancel", v)
+	}
+}
+
+func TestCacheAllCallersAbandonCancelsFlight(t *testing.T) {
+	c := NewCache(context.Background(), 1<<20, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	flightCancelled := make(chan struct{})
+	started := make(chan struct{})
+
+	errs := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "k", func(fctx context.Context) (any, int64, error) {
+			close(started)
+			<-fctx.Done()
+			close(flightCancelled)
+			return nil, 0, fctx.Err()
+		})
+		errs <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller err = %v", err)
+	}
+	select {
+	case <-flightCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight context not cancelled after every caller abandoned")
+	}
+}
+
+func TestCacheLRUEvictionAndBudget(t *testing.T) {
+	b := NewBudget(0)
+	c := NewCache(context.Background(), 100, b)
+	put := func(key string, size int64) {
+		t.Helper()
+		if _, _, err := c.Do(context.Background(), key, func(context.Context) (any, int64, error) {
+			return key, size, nil
+		}); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+	}
+	put("a", 40)
+	put("b", 40)
+	if got := b.Charge(BudgetPoolDedup, 0); got != 80 {
+		t.Fatalf("budget dedup pool = %d, want 80", got)
+	}
+	// Touch a so b becomes the LRU victim.
+	put("a", 40)
+	put("c", 40) // 120 > 100: evicts b
+	st := c.Stats()
+	if st.Evictions != 1 || st.Bytes != 80 || st.Entries != 2 {
+		t.Fatalf("after eviction stats = %+v", st)
+	}
+	var recomputed bool
+	put("a", 40) // still cached
+	if _, _, err := c.Do(context.Background(), "b", func(context.Context) (any, int64, error) {
+		recomputed = true
+		return "b", 40, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Fatal("evicted key b still served from cache")
+	}
+
+	c.ShrinkTo(0)
+	if got := c.Bytes(); got != 0 {
+		t.Fatalf("after ShrinkTo(0) Bytes = %d", got)
+	}
+	if got := b.Charge(BudgetPoolDedup, 0); got != 0 {
+		t.Fatalf("budget not released on shrink: %d", got)
+	}
+}
+
+func TestCacheOversizedAndZeroSizeNotRetained(t *testing.T) {
+	c := NewCache(context.Background(), 10, nil)
+	for i, tc := range []struct {
+		key  string
+		size int64
+	}{{"big", 11}, {"zero", 0}} {
+		var computes int
+		do := func() {
+			if _, _, err := c.Do(context.Background(), tc.key, func(context.Context) (any, int64, error) {
+				computes++
+				return "v", tc.size, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		do()
+		do()
+		if computes != 2 {
+			t.Fatalf("case %d (%s): computes = %d, want 2 (not retained)", i, tc.key, computes)
+		}
+	}
+}
+
+func TestCacheDistinctKeysComputeIndependently(t *testing.T) {
+	c := NewCache(context.Background(), 1<<20, nil)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			v, _, err := c.Do(context.Background(), key, func(context.Context) (any, int64, error) {
+				computes.Add(1)
+				return key, 4, nil
+			})
+			if err != nil || v.(string) != key {
+				t.Errorf("key %s: (%v, %v)", key, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 8 {
+		t.Fatalf("computes = %d, want 8", n)
+	}
+}

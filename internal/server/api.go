@@ -210,6 +210,9 @@ type SessionRequest struct {
 type SessionInfo struct {
 	ID    string `json:"id"`
 	Model string `json:"model"`
+	// Tenant is the identity the session was created under (quota
+	// accounting; "default" when the creator sent no tenant header).
+	Tenant string `json:"tenant,omitempty"`
 	// Nodes/Edges describe the session's current graph; Components is the
 	// number of live components with a cached reconstruction.
 	Nodes      int `json:"nodes"`
@@ -268,11 +271,6 @@ type SessionApplyResponse struct {
 	JobID   string            `json:"job_id"`
 	Session SessionInfo       `json:"session"`
 	Result  ReconstructResult `json:"result"`
-}
-
-// apiError is the JSON error envelope every non-2xx response carries.
-type apiError struct {
-	Error string `json:"error"`
 }
 
 // parseHypergraph decodes the wire text format of a hypergraph.

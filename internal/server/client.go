@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -20,6 +21,10 @@ import (
 const (
 	defaultMaxRetries   = 3
 	defaultRetryBackoff = 100 * time.Millisecond
+	// maxRetryAfterDelay caps how long the client honors a server's
+	// Retry-After advice — a misconfigured (or hostile) server must not be
+	// able to park a client for minutes.
+	maxRetryAfterDelay = 10 * time.Second
 )
 
 // Client is a thin Go client for a running mariohd: it speaks the /v1 API
@@ -31,11 +36,22 @@ const (
 // may have landed (5xx responses, EOF mid-body and other transport
 // errors after the request was sent) are retried only for idempotent
 // methods — a retried POST could double-apply a non-idempotent delta
-// batch. The retry budget is bounded by MaxRetries and the context
-// deadline.
+// batch. A 429 admission rejection never reached a handler's workload,
+// but a retried POST would still re-spend quota another caller may be
+// waiting on, so 429s are retried only for idempotent methods too —
+// honoring the server's Retry-After (capped at maxRetryAfterDelay)
+// instead of the backoff schedule. The retry budget is bounded by
+// MaxRetries and the context deadline.
+//
+// Every non-2xx response surfaces as an error wrapping *APIError, so
+// callers switch on its Code/Status instead of parsing messages.
 type Client struct {
 	// Base is the server's base URL, e.g. "http://127.0.0.1:8080".
 	Base string
+	// Tenant is sent as the X-Marioh-Tenant header on every request,
+	// identifying the caller for the server's per-tenant admission
+	// control. Empty means the server's "default" tenant.
+	Tenant string
 	// HTTP overrides the transport; nil uses http.DefaultClient.
 	HTTP *http.Client
 	// MaxRetries bounds how many times a transiently-failed request is
@@ -144,14 +160,22 @@ func (c *Client) doRetry(ctx context.Context, method, path string, payload []byt
 	budget := c.retries()
 	for attempt := 0; ; attempt++ {
 		status, raw, err, transient := c.attempt(ctx, method, path, payload, hdr)
-		retryable := transient && (idempotentMethod(method) || (err != nil && errNeverSent(err)))
+		var aerr *APIError
+		throttled := errors.As(err, &aerr) && aerr.Status == http.StatusTooManyRequests
+		retryable := (transient && (idempotentMethod(method) || (err != nil && errNeverSent(err)))) ||
+			(throttled && idempotentMethod(method))
 		if !retryable || attempt >= budget || ctx.Err() != nil {
 			return status, raw, err
+		}
+		delay := c.backoff(attempt + 1)
+		if throttled && aerr.RetryAfter > 0 {
+			// The server knows when capacity frees; trust it, bounded.
+			delay = min(aerr.RetryAfter, maxRetryAfterDelay)
 		}
 		select {
 		case <-ctx.Done():
 			return status, raw, err
-		case <-time.After(c.backoff(attempt + 1)):
+		case <-time.After(delay):
 		}
 	}
 }
@@ -170,6 +194,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 	for k, v := range hdr {
 		req.Header[k] = v
 	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return 0, nil, err, true
@@ -181,13 +208,61 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 		return resp.StatusCode, nil, err, true
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var apiErr apiError
-		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
-			return resp.StatusCode, raw, fmt.Errorf("server: %s %s: %s (%s)", method, path, apiErr.Error, resp.Status), retryableStatus(resp.StatusCode)
-		}
-		return resp.StatusCode, raw, fmt.Errorf("server: %s %s: %s", method, path, resp.Status), retryableStatus(resp.StatusCode)
+		aerr := parseAPIError(resp, raw)
+		return resp.StatusCode, raw, fmt.Errorf("%s %s: %w", method, path, aerr), retryableStatus(resp.StatusCode)
 	}
 	return resp.StatusCode, raw, nil, false
+}
+
+// parseAPIError decodes a non-2xx response into a typed *APIError. It
+// understands the unified envelope {"error":{"code","message",...}} and
+// falls back to the legacy {"error":"message"} shape (older daemons) and
+// the bare HTTP status.
+func parseAPIError(resp *http.Response, raw []byte) *APIError {
+	out := &APIError{Status: resp.StatusCode, Message: resp.Status}
+	var env struct {
+		Error json.RawMessage `json:"error"`
+	}
+	if json.Unmarshal(raw, &env) == nil && len(env.Error) > 0 {
+		var body errorBody
+		var msg string
+		switch {
+		case json.Unmarshal(env.Error, &body) == nil && body.Code != "":
+			out.Code = body.Code
+			out.Message = body.Message
+			out.RetryAfter = time.Duration(body.RetryAfterS * float64(time.Second))
+		case json.Unmarshal(env.Error, &msg) == nil && msg != "":
+			out.Message = msg
+		}
+	}
+	if out.Code == "" {
+		out.Code = codeForStatus(resp.StatusCode)
+	}
+	if out.RetryAfter == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			out.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return out
+}
+
+// codeForStatus supplies an error code when the response body carried
+// none (legacy envelope or non-JSON error page).
+func codeForStatus(status int) string {
+	switch {
+	case status == http.StatusNotFound:
+		return CodeNotFound
+	case status == http.StatusConflict:
+		return CodeConflict
+	case status == http.StatusTooManyRequests:
+		return CodeRateLimited
+	case status == http.StatusServiceUnavailable:
+		return CodeQueueFull
+	case status >= 500:
+		return CodeInternal
+	default:
+		return CodeBadRequest
+	}
 }
 
 // do issues a request and decodes the JSON response into out (nil to

@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,7 +30,13 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) error {
 
 // submit queues an async job and attaches the metrics/log watcher.
 func (s *Server) submit(kind JobKind, run runFunc) (*Job, error) {
-	job, err := s.queue.Submit(kind, run)
+	return s.submitMeta(kind, JobMeta{}, run)
+}
+
+// submitMeta is submit with admission accounting attached; on rejection
+// meta.OnFinish is not called (the caller still owns its slot).
+func (s *Server) submitMeta(kind JobKind, meta JobMeta, run runFunc) (*Job, error) {
+	job, err := s.queue.SubmitMeta(kind, meta, run)
 	if err != nil {
 		return nil, err
 	}
@@ -36,7 +44,8 @@ func (s *Server) submit(kind JobKind, run runFunc) (*Job, error) {
 	return job, nil
 }
 
-// watch logs and counts a job's terminal transition.
+// watch logs and counts a job's terminal transition, then re-checks the
+// memory budget — the finished job may have retained a result.
 func (s *Server) watch(job *Job) {
 	s.metrics.Job("submitted")
 	go func() {
@@ -48,7 +57,22 @@ func (s *Server) watch(job *Job) {
 		} else {
 			s.cfg.Logf("mariohd: job %s (%s) %s", job.ID, job.Kind, status)
 		}
+		s.enforceBudget("")
 	}()
+}
+
+// acquireJob claims a tenant job slot charging bytes of queued payload,
+// writing the 429 itself on rejection. The caller must release the slot
+// exactly once (directly or via JobMeta.OnFinish); ok reports whether
+// the slot was granted.
+func (s *Server) acquireJob(w http.ResponseWriter, r *http.Request, bytes int64) (tenant string, release func(), ok bool) {
+	tenant = tenantFrom(r)
+	release, err := s.admission.AcquireJob(tenant, bytes)
+	if err != nil {
+		s.reject(w, err)
+		return tenant, nil, false
+	}
+	return tenant, release, true
 }
 
 // publisher adapts a job to a ProgressFunc, threading the test hook in
@@ -125,8 +149,12 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	tenant, relJob, ok := s.acquireJob(w, r, int64(len(req.Source)))
+	if !ok {
+		return
+	}
 
-	job, err := s.submit(JobTrain, func(ctx context.Context, job *Job) (any, error) {
+	job, err := s.submitMeta(JobTrain, JobMeta{Tenant: tenant, OnFinish: relJob}, func(ctx context.Context, job *Job) (any, error) {
 		rec, err := marioh.New(opts...)
 		if err != nil {
 			return nil, err
@@ -154,6 +182,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	})
 	if err != nil {
+		relJob()
 		s.writeError(w, errStatus(err), err)
 		return
 	}
@@ -210,8 +239,13 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	}
 	run := s.reconstructRun(opts, m, g)
 	if async {
-		job, err := s.submit(JobReconstruct, run)
+		tenant, relJob, ok := s.acquireJob(w, r, int64(len(req.Target)))
+		if !ok {
+			return
+		}
+		job, err := s.submitMeta(JobReconstruct, JobMeta{Tenant: tenant, OnFinish: relJob}, run)
 		if err != nil {
+			relJob()
 			s.writeError(w, errStatus(err), err)
 			return
 		}
@@ -219,14 +253,39 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job, err := s.queue.NewJob(JobReconstruct, run)
+	// Synchronous path: the tenant's job slot covers the request duration
+	// (leading the computation or waiting on an identical one in flight).
+	tenant, relJob, ok := s.acquireJob(w, r, int64(len(req.Target)))
+	if !ok {
+		return
+	}
+	defer relJob()
+
+	// Reconstruction is deterministic, so identical (model hash, graph,
+	// semantic options) requests collapse into one computation and its
+	// result is served content-addressed from the cache.
+	key, err := s.dedupKey(req.Model, g, req.Options)
 	if err != nil {
 		s.writeError(w, errStatus(err), err)
 		return
 	}
-	s.watch(job)
-	s.queue.RunInline(r.Context(), job)
-	result, err := job.Result()
+	val, _, err := s.dedup.Do(r.Context(), key, func(fctx context.Context) (any, int64, error) {
+		job, err := s.queue.NewJobMeta(JobReconstruct, JobMeta{Tenant: tenant}, run)
+		if err != nil {
+			return nil, 0, err
+		}
+		s.watch(job)
+		// fctx lives as long as any interested caller — the leader
+		// disconnecting does not abort a computation others wait on.
+		s.queue.RunInline(fctx, job)
+		result, err := job.Result()
+		if err != nil {
+			return nil, 0, err
+		}
+		rr := result.(ReconstructResult)
+		resp := ReconstructResponse{JobID: job.ID, Result: rr}
+		return resp, resultCost(rr), nil
+	})
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -236,7 +295,33 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, ReconstructResponse{JobID: job.ID, Result: result.(ReconstructResult)})
+	s.writeJSON(w, http.StatusOK, val.(ReconstructResponse))
+}
+
+// dedupKey derives the content address of a synchronous reconstruction:
+// the model's serialized hash, the canonical graph text, and the full
+// option spec. The hypergraph bytes are identical across execution-shape
+// knobs (shards, parallelism), but the response metadata (Shards, stage
+// timings) is not — so the whole spec keys the entry and only truly
+// identical requests share a response.
+func (s *Server) dedupKey(model string, g *marioh.Graph, spec OptionSpec) (string, error) {
+	mh, err := s.registry.Hash(model)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	io.WriteString(h, mh)
+	io.WriteString(h, "\x00")
+	if err := g.Write(h); err != nil {
+		return "", err
+	}
+	canon, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	io.WriteString(h, "\x00")
+	h.Write(canon)
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // reconstructInputs parses and resolves the shared parts of reconstruction
@@ -299,8 +384,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts = append(opts, s.shardingOptions(req.Options)...)
+	var queued int64
+	for _, t := range req.Targets {
+		queued += int64(len(t))
+	}
+	tenant, relJob, ok := s.acquireJob(w, r, queued)
+	if !ok {
+		return
+	}
 
-	job, err := s.submit(JobBatch, func(ctx context.Context, job *Job) (any, error) {
+	job, err := s.submitMeta(JobBatch, JobMeta{Tenant: tenant, OnFinish: relJob}, func(ctx context.Context, job *Job) (any, error) {
 		ropts := append(append([]marioh.Option(nil), opts...),
 			marioh.WithModel(m), marioh.WithProgress(s.publisher(job)))
 		rec, err := marioh.New(ropts...)
@@ -327,6 +420,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return out, nil
 	})
 	if err != nil {
+		relJob()
 		s.writeError(w, errStatus(err), err)
 		return
 	}
@@ -498,5 +592,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	loaded, parked := s.sessions.Counts()
-	s.metrics.Render(w, s.queue.Depth(), s.queue.Counts(), loaded, parked)
+	s.metrics.Render(w, MetricsSnapshot{
+		QueueDepth:     s.queue.Depth(),
+		JobCounts:      s.queue.Counts(),
+		OpenSessions:   loaded,
+		ParkedSessions: parked,
+		ActiveTenants:  s.admission.ActiveTenants(),
+		Dedup:          s.dedup.Stats(),
+		BudgetPools:    s.budget.Snapshot(),
+		BudgetTotal:    s.budget.Total(),
+		RSSBytes:       rssBytes(),
+	})
 }

@@ -3,9 +3,14 @@ package server
 import (
 	"fmt"
 	"io"
+	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"marioh/internal/admission"
 )
 
 // Metrics aggregates the counters behind GET /metrics: per-route request
@@ -38,6 +43,9 @@ type Metrics struct {
 	snapshotWrites int64            // guarded by mu; engine snapshots written
 	recoveries     map[string]int64 // guarded by mu; recovery outcome → count
 	recoveryReplay int64            // guarded by mu; WAL records replayed across recoveries
+
+	admissionRejected map[string]int64 // guarded by mu; rejection reason → count
+	resultsEvicted    int64            // guarded by mu; retained job results shed by the memory budget
 }
 
 // stageStat accumulates wall-clock spent in one pipeline stage.
@@ -50,13 +58,30 @@ type stageStat struct {
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		start:      time.Now(),
-		requests:   map[string]int64{},
-		statuses:   map[int]int64{},
-		jobs:       map[string]int64{},
-		stages:     map[string]*stageStat{},
-		recoveries: map[string]int64{},
+		start:             time.Now(),
+		requests:          map[string]int64{},
+		statuses:          map[int]int64{},
+		jobs:              map[string]int64{},
+		stages:            map[string]*stageStat{},
+		recoveries:        map[string]int64{},
+		admissionRejected: map[string]int64{},
 	}
+}
+
+// AdmissionRejected records one request or acquisition refused by the
+// admission controller, by rejection reason.
+func (m *Metrics) AdmissionRejected(reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.admissionRejected[reason]++
+}
+
+// ResultEvicted records one retained job result shed by the memory
+// budget.
+func (m *Metrics) ResultEvicted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.resultsEvicted++
 }
 
 // Request records one served request on a route with its response status.
@@ -157,10 +182,27 @@ func (m *Metrics) Stage(name string, d time.Duration) {
 	}
 }
 
-// Render writes the Prometheus text exposition. queueDepth, jobCounts and
-// openSessions are sampled by the caller from the live queue and session
-// store.
-func (m *Metrics) Render(w io.Writer, queueDepth int, jobCounts map[JobStatus]int, openSessions, parkedSessions int) {
+// MetricsSnapshot carries the live gauges the caller samples at scrape
+// time from the queue, session store, admission controller, dedup cache
+// and memory budget.
+type MetricsSnapshot struct {
+	QueueDepth     int
+	JobCounts      map[JobStatus]int
+	OpenSessions   int
+	ParkedSessions int
+	ActiveTenants  int
+	Dedup          admission.CacheStats
+	BudgetPools    []admission.PoolBytes
+	BudgetTotal    int64
+	RSSBytes       int64
+}
+
+// Render writes the Prometheus text exposition; snap carries the live
+// gauges sampled by the caller.
+func (m *Metrics) Render(w io.Writer, snap MetricsSnapshot) {
+	queueDepth := snap.QueueDepth
+	jobCounts := snap.JobCounts
+	openSessions, parkedSessions := snap.OpenSessions, snap.ParkedSessions
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -230,6 +272,37 @@ func (m *Metrics) Render(w io.Writer, queueDepth int, jobCounts map[JobStatus]in
 	fmt.Fprintf(w, "# TYPE marioh_recovery_replayed_total counter\n")
 	fmt.Fprintf(w, "marioh_recovery_replayed_total %d\n", m.recoveryReplay)
 
+	fmt.Fprintf(w, "# TYPE marioh_admission_rejected_total counter\n")
+	for _, reason := range sortedKeys(m.admissionRejected) {
+		fmt.Fprintf(w, "marioh_admission_rejected_total{reason=%q} %d\n", reason, m.admissionRejected[reason])
+	}
+	fmt.Fprintf(w, "# TYPE marioh_tenants_active gauge\n")
+	fmt.Fprintf(w, "marioh_tenants_active %d\n", snap.ActiveTenants)
+
+	fmt.Fprintf(w, "# TYPE marioh_dedup_hits_total counter\n")
+	fmt.Fprintf(w, "marioh_dedup_hits_total %d\n", snap.Dedup.Hits)
+	fmt.Fprintf(w, "# TYPE marioh_dedup_misses_total counter\n")
+	fmt.Fprintf(w, "marioh_dedup_misses_total %d\n", snap.Dedup.Misses)
+	fmt.Fprintf(w, "# TYPE marioh_dedup_waiters_total counter\n")
+	fmt.Fprintf(w, "marioh_dedup_waiters_total %d\n", snap.Dedup.Waiters)
+	fmt.Fprintf(w, "# TYPE marioh_dedup_evictions_total counter\n")
+	fmt.Fprintf(w, "marioh_dedup_evictions_total %d\n", snap.Dedup.Evictions)
+	fmt.Fprintf(w, "# TYPE marioh_dedup_entries gauge\n")
+	fmt.Fprintf(w, "marioh_dedup_entries %d\n", snap.Dedup.Entries)
+	fmt.Fprintf(w, "# TYPE marioh_dedup_bytes gauge\n")
+	fmt.Fprintf(w, "marioh_dedup_bytes %d\n", snap.Dedup.Bytes)
+
+	fmt.Fprintf(w, "# TYPE marioh_memory_bytes gauge\n")
+	for _, p := range snap.BudgetPools {
+		fmt.Fprintf(w, "marioh_memory_bytes{pool=%q} %d\n", p.Pool, p.Bytes)
+	}
+	fmt.Fprintf(w, "# TYPE marioh_memory_budget_bytes gauge\n")
+	fmt.Fprintf(w, "marioh_memory_budget_bytes %d\n", snap.BudgetTotal)
+	fmt.Fprintf(w, "# TYPE marioh_results_evicted_total counter\n")
+	fmt.Fprintf(w, "marioh_results_evicted_total %d\n", m.resultsEvicted)
+	fmt.Fprintf(w, "# TYPE marioh_rss_bytes gauge\n")
+	fmt.Fprintf(w, "marioh_rss_bytes %d\n", snap.RSSBytes)
+
 	fmt.Fprintf(w, "# TYPE marioh_stage_seconds_total counter\n")
 	for _, name := range sortedStageKeys(m.stages) {
 		s := m.stages[name]
@@ -237,6 +310,24 @@ func (m *Metrics) Render(w io.Writer, queueDepth int, jobCounts map[JobStatus]in
 		fmt.Fprintf(w, "marioh_stage_runs_total{stage=%q} %d\n", name, s.count)
 		fmt.Fprintf(w, "marioh_stage_seconds_max{stage=%q} %.6f\n", name, s.max.Seconds())
 	}
+}
+
+// rssBytes samples the process resident set from /proc/self/statm
+// (0 where the proc filesystem is unavailable).
+func rssBytes() int64 {
+	raw, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(raw))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
 }
 
 func sortedKeys(m map[string]int64) []string {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"marioh"
+	"marioh/internal/admission"
 )
 
 // JobKind names the workload a job carries.
@@ -57,8 +58,12 @@ type runFunc func(ctx context.Context, job *Job) (any, error)
 type Job struct {
 	ID   string
 	Kind JobKind
+	// Tenant is the identity the job is accounted to; immutable after
+	// registration.
+	Tenant string
 
 	run runFunc
+	q   *Queue // owning queue; immutable after registration
 
 	mu       sync.Mutex
 	status   JobStatus                         // guarded by mu
@@ -71,6 +76,8 @@ type Job struct {
 	subs     map[chan marioh.Progress]struct{} // guarded by mu
 	done     chan struct{}                     // closed exactly once by finish (with mu held)
 	runCtx   context.Context                   // guarded by mu; the context the workload runs under, tests synchronize on it
+	onFinish func()                            // guarded by mu; runs once after the terminal transition (tenant slot release)
+	retained int64                             // guarded by mu; budget bytes charged for the kept result
 }
 
 // JobInfo is the JSON-serializable snapshot of a Job returned by the jobs
@@ -181,11 +188,12 @@ func (j *Job) Unsubscribe(ch <-chan marioh.Progress) {
 }
 
 // finish moves the job to a terminal state, stores the outcome, closes the
-// done channel and all subscriber channels.
+// done channel and all subscriber channels, charges the retained result
+// against the memory budget, and releases the tenant's job slot.
 func (j *Job) finish(status JobStatus, result any, err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.status.Terminal() {
+		j.mu.Unlock()
 		return
 	}
 	j.status = status
@@ -196,7 +204,21 @@ func (j *Job) finish(status JobStatus, result any, err error) {
 		close(ch)
 	}
 	j.subs = nil
+	if j.q != nil && j.q.budget != nil {
+		j.retained = resultCost(result)
+		if j.retained > 0 {
+			j.q.budget.Charge(budgetPoolResults, j.retained)
+		}
+	}
+	hook := j.onFinish
+	j.onFinish = nil
 	close(j.done)
+	j.mu.Unlock()
+	// The hook releases external accounting (tenant job slot, queued
+	// bytes); it runs outside j.mu so it may take other locks freely.
+	if hook != nil {
+		hook()
+	}
 }
 
 // execute runs the workload under ctx, classifying the outcome: a workload
@@ -244,6 +266,11 @@ type Queue struct {
 	jobs  chan *Job
 	tasks chan queueTask
 
+	// budget, when set (before any traffic), meters retained job results
+	// under budgetPoolResults; onEvict observes each result eviction.
+	budget  *admission.Budget
+	onEvict func()
+
 	mu         sync.Mutex
 	byID       map[string]*Job // guarded by mu
 	order      []string        // guarded by mu; insertion order for listings
@@ -255,6 +282,40 @@ type Queue struct {
 	closed     bool                          // guarded by mu
 
 	wg sync.WaitGroup
+}
+
+// budgetPoolResults is the Budget pool metering retained job results.
+const budgetPoolResults = "results"
+
+// resultCost estimates the retained bytes of a terminal job's result
+// payload. The hypergraph text dominates every payload that carries one;
+// fixed-size metadata gets a small constant.
+func resultCost(v any) int64 {
+	const meta = 256
+	switch r := v.(type) {
+	case ReconstructResult:
+		return int64(len(r.Hypergraph)) + meta
+	case *ReconstructResult:
+		return int64(len(r.Hypergraph)) + meta
+	case BatchResult:
+		var sum int64
+		for i := range r.Results {
+			sum += int64(len(r.Results[i].Hypergraph)) + meta
+		}
+		return sum
+	case *BatchResult:
+		return resultCost(*r)
+	case SessionApplyResponse:
+		return int64(len(r.Result.Hypergraph)) + meta
+	case *SessionApplyResponse:
+		return int64(len(r.Result.Hypergraph)) + meta
+	case TrainResult, *TrainResult:
+		return meta
+	case nil:
+		return 0
+	default:
+		return meta
+	}
 }
 
 // NewQueue starts workers goroutines servicing a queue of at most depth
@@ -344,29 +405,45 @@ func (q *Queue) RunTasks(fns []func()) {
 	wg.Wait()
 }
 
+// JobMeta is the admission accounting attached to a job at registration:
+// the tenant it is billed to and a hook released exactly once when the
+// job reaches a terminal state (tenant job slot + queued bytes).
+type JobMeta struct {
+	Tenant   string
+	OnFinish func()
+}
+
 // NewJob registers a job without queueing it, for workloads executed
 // inline on a request goroutine (the synchronous /v1/reconstruct path).
 // The caller runs it with RunInline.
 func (q *Queue) NewJob(kind JobKind, run runFunc) (*Job, error) {
+	return q.NewJobMeta(kind, JobMeta{}, run)
+}
+
+// NewJobMeta is NewJob with admission accounting attached.
+func (q *Queue) NewJobMeta(kind JobKind, meta JobMeta, run runFunc) (*Job, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return nil, ErrShuttingDown
 	}
-	return q.register(kind, run), nil
+	return q.register(kind, meta, run), nil
 }
 
 // register allocates and indexes a job, evicting the oldest terminal jobs
 // beyond the history bound; callers hold q.mu.
-func (q *Queue) register(kind JobKind, run runFunc) *Job {
+func (q *Queue) register(kind JobKind, meta JobMeta, run runFunc) *Job {
 	q.nextID++
 	job := &Job{
-		ID:      fmt.Sprintf("j-%06d", q.nextID),
-		Kind:    kind,
-		run:     run,
-		status:  StatusQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+		ID:       fmt.Sprintf("j-%06d", q.nextID),
+		Kind:     kind,
+		Tenant:   meta.Tenant,
+		run:      run,
+		q:        q,
+		status:   StatusQueued,
+		created:  time.Now(),
+		done:     make(chan struct{}),
+		onFinish: meta.OnFinish,
 	}
 	q.byID[job.ID] = job
 	q.order = append(q.order, job.ID)
@@ -374,8 +451,7 @@ func (q *Queue) register(kind JobKind, run runFunc) *Job {
 		kept := q.order[:0]
 		excess := len(q.order) - q.history
 		for _, id := range q.order {
-			if excess > 0 && q.byID[id].Status().Terminal() {
-				delete(q.byID, id)
+			if excess > 0 && q.dropLocked(id) {
 				excess--
 				continue
 			}
@@ -384,6 +460,59 @@ func (q *Queue) register(kind JobKind, run runFunc) *Job {
 		q.order = kept
 	}
 	return job
+}
+
+// dropLocked forgets a terminal job, releasing its retained-result bytes
+// from the budget; it reports whether the job was dropped (non-terminal
+// jobs never are). Callers hold q.mu and fix up q.order themselves.
+func (q *Queue) dropLocked(id string) bool {
+	job := q.byID[id]
+	if job == nil || !job.Status().Terminal() {
+		return false
+	}
+	delete(q.byID, id)
+	job.mu.Lock()
+	retained := job.retained
+	job.retained = 0
+	job.mu.Unlock()
+	if retained > 0 && q.budget != nil {
+		q.budget.Charge(budgetPoolResults, -retained)
+	}
+	if q.onEvict != nil {
+		q.onEvict()
+	}
+	return true
+}
+
+// ShedResults evicts the oldest terminal jobs until at least n retained
+// bytes are freed (or no terminal job remains), returning the bytes
+// actually freed. The server calls it under memory pressure — kept job
+// results are cheaper to lose than live sessions.
+func (q *Queue) ShedResults(n int64) int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var freed int64
+	kept := q.order[:0]
+	for i, id := range q.order {
+		if freed >= n {
+			kept = append(kept, q.order[i:]...)
+			break
+		}
+		job := q.byID[id]
+		if job == nil {
+			continue
+		}
+		job.mu.Lock()
+		retained := job.retained
+		job.mu.Unlock()
+		if retained <= 0 || !q.dropLocked(id) {
+			kept = append(kept, id)
+			continue
+		}
+		freed += retained
+	}
+	q.order = kept
+	return freed
 }
 
 // RunInline executes a NewJob-registered job on the calling goroutine,
@@ -407,12 +536,19 @@ func (q *Queue) RunInline(ctx context.Context, job *Job) {
 // Submit registers a job and enqueues it for the worker pool, returning
 // ErrQueueFull when the bounded buffer is at capacity.
 func (q *Queue) Submit(kind JobKind, run runFunc) (*Job, error) {
+	return q.SubmitMeta(kind, JobMeta{}, run)
+}
+
+// SubmitMeta is Submit with admission accounting attached. On rejection
+// meta.OnFinish is NOT called — the job was never registered, so the
+// caller still owns its admission slot.
+func (q *Queue) SubmitMeta(kind JobKind, meta JobMeta, run runFunc) (*Job, error) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
-	job := q.register(kind, run)
+	job := q.register(kind, meta, run)
 	select {
 	case q.jobs <- job:
 		q.mu.Unlock()

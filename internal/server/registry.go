@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"os"
@@ -14,6 +16,7 @@ import (
 	"time"
 
 	"marioh"
+	"marioh/internal/admission"
 )
 
 // ErrModelNotFound is returned by registry lookups for unknown names;
@@ -48,19 +51,29 @@ type Registry struct {
 	dir string // "" = memory-only
 	cap int
 
-	mu    sync.Mutex
-	raw   map[string][]byte        // guarded by mu; memory-only backing store (dir == "")
-	saved map[string]time.Time     // guarded by mu
-	meta  map[string]ModelInfo     // guarded by mu; listing metadata, recorded at Put
-	cache map[string]*list.Element // guarded by mu; name → lru element
-	lru   *list.List               // guarded by mu; front = most recent, values are *cacheEntry
+	// budget, when set (before any traffic), meters decoded cached models
+	// under budgetPoolModels (by their serialized size, the best cheap
+	// proxy for the decoded weights).
+	budget *admission.Budget
+
+	mu     sync.Mutex
+	raw    map[string][]byte        // guarded by mu; memory-only backing store (dir == "")
+	saved  map[string]time.Time     // guarded by mu
+	meta   map[string]ModelInfo     // guarded by mu; listing metadata, recorded at Put
+	hashes map[string]string        // guarded by mu; name → hex SHA-256 of the serialized bytes
+	cache  map[string]*list.Element // guarded by mu; name → lru element
+	lru    *list.List               // guarded by mu; front = most recent, values are *cacheEntry
 }
 
-// cacheEntry pairs a decoded model with its registry name for LRU
-// eviction.
+// budgetPoolModels is the Budget pool metering decoded cached models.
+const budgetPoolModels = "models"
+
+// cacheEntry pairs a decoded model with its registry name and metered
+// size for LRU eviction.
 type cacheEntry struct {
 	name  string
 	model *marioh.Model
+	size  int64
 }
 
 // NewRegistry opens (and creates) the registry directory and indexes the
@@ -71,13 +84,14 @@ func NewRegistry(dir string, cacheSize int) (*Registry, error) {
 		cacheSize = 1
 	}
 	r := &Registry{
-		dir:   dir,
-		cap:   cacheSize,
-		raw:   map[string][]byte{},
-		saved: map[string]time.Time{},
-		meta:  map[string]ModelInfo{},
-		cache: map[string]*list.Element{},
-		lru:   list.New(),
+		dir:    dir,
+		cap:    cacheSize,
+		raw:    map[string][]byte{},
+		saved:  map[string]time.Time{},
+		meta:   map[string]ModelInfo{},
+		hashes: map[string]string{},
+		cache:  map[string]*list.Element{},
+		lru:    list.New(),
 	}
 	if dir == "" {
 		return r, nil
@@ -167,6 +181,7 @@ func (r *Registry) Put(name string, raw []byte) error {
 	}
 	now := time.Now()
 	r.saved[name] = now
+	delete(r.hashes, name) // the bytes changed; re-hash lazily
 	r.meta[name] = ModelInfo{
 		Name:       name,
 		Featurizer: m.Feat.Name(),
@@ -174,8 +189,36 @@ func (r *Registry) Put(name string, raw []byte) error {
 		Bytes:      len(raw),
 		Saved:      now,
 	}
-	r.cacheLocked(name, m)
+	r.cacheLocked(name, m, int64(len(raw)))
 	return nil
+}
+
+// Hash returns the hex SHA-256 of the model's serialized bytes, memoized
+// until the entry changes. It is the model component of content-addressed
+// dedup keys: two registry entries with the same bytes reconstruct
+// identically, whatever they are named.
+func (r *Registry) Hash(name string) (string, error) {
+	if err := validName(name); err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	if h, ok := r.hashes[name]; ok {
+		r.mu.Unlock()
+		return h, nil
+	}
+	r.mu.Unlock()
+	raw, err := r.rawBytes(name)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	h := hex.EncodeToString(sum[:])
+	r.mu.Lock()
+	if _, ok := r.saved[name]; ok { // don't re-memoize a concurrent delete
+		r.hashes[name] = h
+	}
+	r.mu.Unlock()
+	return h, nil
 }
 
 // Raw returns the serialized bytes of a stored model.
@@ -241,24 +284,36 @@ func (r *Registry) Get(name string) (*marioh.Model, error) {
 		return el.Value.(*cacheEntry).model, nil
 	}
 	if _, ok := r.saved[name]; ok { // don't re-cache a concurrent delete
-		r.cacheLocked(name, m)
+		r.cacheLocked(name, m, int64(len(raw)))
 	}
 	return m, nil
 }
 
 // cacheLocked inserts (or refreshes) a cache entry, evicting the least
-// recently used one past capacity; callers hold r.mu.
-func (r *Registry) cacheLocked(name string, m *marioh.Model) {
+// recently used one past capacity and keeping the budget's models pool in
+// step; callers hold r.mu.
+func (r *Registry) cacheLocked(name string, m *marioh.Model, size int64) {
 	if el, ok := r.cache[name]; ok {
-		el.Value.(*cacheEntry).model = m
+		e := el.Value.(*cacheEntry)
+		if r.budget != nil {
+			r.budget.Charge(budgetPoolModels, size-e.size)
+		}
+		e.model, e.size = m, size
 		r.lru.MoveToFront(el)
 		return
 	}
-	r.cache[name] = r.lru.PushFront(&cacheEntry{name: name, model: m})
+	r.cache[name] = r.lru.PushFront(&cacheEntry{name: name, model: m, size: size})
+	if r.budget != nil {
+		r.budget.Charge(budgetPoolModels, size)
+	}
 	for r.lru.Len() > r.cap {
 		last := r.lru.Back()
 		r.lru.Remove(last)
-		delete(r.cache, last.Value.(*cacheEntry).name)
+		e := last.Value.(*cacheEntry)
+		delete(r.cache, e.name)
+		if r.budget != nil {
+			r.budget.Charge(budgetPoolModels, -e.size)
+		}
 	}
 }
 
@@ -275,9 +330,13 @@ func (r *Registry) Delete(name string) error {
 	delete(r.saved, name)
 	delete(r.raw, name)
 	delete(r.meta, name)
+	delete(r.hashes, name)
 	if el, ok := r.cache[name]; ok {
 		r.lru.Remove(el)
 		delete(r.cache, name)
+		if r.budget != nil {
+			r.budget.Charge(budgetPoolModels, -el.Value.(*cacheEntry).size)
+		}
 	}
 	r.mu.Unlock()
 	if r.dir != "" {

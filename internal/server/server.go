@@ -13,7 +13,7 @@ import (
 	"time"
 
 	"marioh"
-	"marioh/internal/durability"
+	"marioh/internal/admission"
 )
 
 // Config are mariohd's knobs; the zero value serves on :8080 with
@@ -62,6 +62,33 @@ type Config struct {
 	// Logf receives server logs. Default log.Printf.
 	Logf func(format string, args ...any)
 
+	// TenantRate / TenantBurst rate-limit each tenant's /v1 requests with
+	// a token bucket (requests per second and bucket size); 0 disables.
+	// Tenants identify themselves with the X-Marioh-Tenant header
+	// ("default" when absent).
+	TenantRate  float64
+	TenantBurst int
+	// TenantMaxJobs / TenantMaxSessions / TenantMaxQueuedBytes bound each
+	// tenant's concurrent jobs (queued + running, including synchronous
+	// reconstructions), open sessions, and total queued request-body
+	// bytes; 0 disables. Over-quota requests answer 429 + Retry-After
+	// without queueing.
+	TenantMaxJobs        int
+	TenantMaxSessions    int
+	TenantMaxQueuedBytes int64
+	// MemoryBudget caps the bytes the daemon retains across session
+	// engines, decoded registry models, kept job results and the dedup
+	// cache (estimates, not allocator truth). Past it the server sheds
+	// cost-based: dedup entries first, then retained job results, then
+	// idle sessions (durable ones park to disk). 0 = unlimited.
+	MemoryBudget int64
+	// DedupCacheBytes bounds the content-addressed reconstruction result
+	// cache. Identical (graph fingerprint, model hash, options) sync
+	// reconstructions collapse into one computation regardless; the cache
+	// additionally serves repeat requests without recomputing. 0 means
+	// the default (64 MiB); negative disables retention.
+	DedupCacheBytes int64
+
 	// testProgressHook, when set (by tests), observes every progress event
 	// before it is published, letting tests block a reconstruction at a
 	// deterministic point.
@@ -96,19 +123,25 @@ func (c *Config) defaults() {
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
+	if c.DedupCacheBytes == 0 {
+		c.DedupCacheBytes = 64 << 20
+	}
 }
 
 // Server is the mariohd HTTP service: a router over the job queue, the
 // model registry and the metrics registry.
 type Server struct {
-	cfg      Config
-	base     context.Context // lifetime context captured by New; bounds the queue root, request contexts and the drain deadline
-	queue    *Queue
-	registry *Registry
-	metrics  *Metrics
-	sessions *sessionStore
-	mux      *http.ServeMux
-	start    time.Time
+	cfg       Config
+	base      context.Context // lifetime context captured by New; bounds the queue root, request contexts and the drain deadline
+	queue     *Queue
+	registry  *Registry
+	metrics   *Metrics
+	sessions  *sessionStore
+	admission *admission.Controller
+	budget    *admission.Budget
+	dedup     *admission.Cache
+	mux       *http.ServeMux
+	start     time.Time
 
 	addrOnce  sync.Once
 	addrReady chan struct{} // closed once addr is final (bound or failed)
@@ -123,21 +156,35 @@ type Server struct {
 // Server is single-use.
 func New(ctx context.Context, cfg Config) (*Server, error) {
 	cfg.defaults()
+	budget := admission.NewBudget(cfg.MemoryBudget)
 	reg, err := NewRegistry(cfg.ModelsDir, cfg.ModelCache)
 	if err != nil {
 		return nil, err
 	}
+	reg.budget = budget
 	s := &Server{
-		cfg:       cfg,
-		base:      ctx,
-		queue:     NewQueue(ctx, cfg.Workers, cfg.QueueDepth, cfg.JobHistory),
-		registry:  reg,
-		metrics:   NewMetrics(),
-		sessions:  newSessionStore(cfg.SessionLimit),
+		cfg:      cfg,
+		base:     ctx,
+		queue:    NewQueue(ctx, cfg.Workers, cfg.QueueDepth, cfg.JobHistory),
+		registry: reg,
+		metrics:  NewMetrics(),
+		sessions: newSessionStore(cfg.SessionLimit),
+		admission: admission.NewController(admission.Limits{
+			Rate:           cfg.TenantRate,
+			Burst:          cfg.TenantBurst,
+			MaxJobs:        cfg.TenantMaxJobs,
+			MaxSessions:    cfg.TenantMaxSessions,
+			MaxQueuedBytes: cfg.TenantMaxQueuedBytes,
+		}),
+		budget:    budget,
+		dedup:     admission.NewCache(ctx, cfg.DedupCacheBytes, budget),
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
 		addrReady: make(chan struct{}),
 	}
+	s.queue.budget = budget
+	s.queue.onEvict = s.metrics.ResultEvicted
+	s.sessions.budget = budget
 	if cfg.DataDir != "" {
 		s.loadParkedSessions()
 	}
@@ -145,10 +192,12 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// routes wires every endpoint through the metrics middleware.
+// routes wires every endpoint through the metrics middleware; /v1
+// endpoints additionally pass tenant admission (health and metrics stay
+// un-throttled so probes and scrapes survive a flood).
 func (s *Server) routes() {
 	handle := func(pattern string, h http.HandlerFunc) {
-		s.mux.Handle(pattern, s.instrument(pattern, h))
+		s.mux.Handle(pattern, s.instrument(pattern, s.admit(h)))
 	}
 	handle("POST /v1/train", s.handleTrain)
 	handle("POST /v1/reconstruct", s.handleReconstruct)
@@ -167,8 +216,55 @@ func (s *Server) routes() {
 	handle("GET /v1/models/{name}", s.handleModelGet)
 	handle("PUT /v1/models/{name}", s.handleModelPut)
 	handle("DELETE /v1/models/{name}", s.handleModelDelete)
-	handle("GET /healthz", s.handleHealth)
-	handle("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /healthz", s.instrument("GET /healthz", s.handleHealth))
+	s.mux.Handle("GET /metrics", s.instrument("GET /metrics", s.handleMetrics))
+}
+
+// TenantHeader is the HTTP header carrying the caller's tenant identity;
+// absent means admission.DefaultTenant.
+const TenantHeader = "X-Marioh-Tenant"
+
+// tenantKey is the request-context key carrying the admitted tenant.
+type tenantKey struct{}
+
+// tenantFrom returns the tenant the admission middleware attributed to
+// the request.
+func tenantFrom(r *http.Request) string {
+	if t, ok := r.Context().Value(tenantKey{}).(string); ok {
+		return t
+	}
+	return admission.DefaultTenant
+}
+
+// admit identifies the request's tenant and spends one of its rate
+// tokens; over-rate requests answer 429 + Retry-After here, before any
+// body is read or work queued.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tenant := r.Header.Get(TenantHeader)
+		if tenant == "" {
+			tenant = admission.DefaultTenant
+		}
+		if !admission.ValidTenant(tenant) {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid %s header %q", TenantHeader, tenant))
+			return
+		}
+		if err := s.admission.AllowRequest(tenant); err != nil {
+			s.reject(w, err)
+			return
+		}
+		h(w, r.WithContext(context.WithValue(r.Context(), tenantKey{}, tenant)))
+	}
+}
+
+// reject counts an admission rejection by reason and writes it (429 +
+// Retry-After through the usual envelope path).
+func (s *Server) reject(w http.ResponseWriter, err error) {
+	var aerr *admission.Error
+	if errors.As(err, &aerr) {
+		s.metrics.AdmissionRejected(aerr.Reason)
+	}
+	s.writeError(w, errStatus(err), err)
 }
 
 // statusWriter captures the response status for metrics.
@@ -241,31 +337,16 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// writeError writes the JSON error envelope.
+// writeError writes the unified JSON error envelope
+// {"error":{"code","message","retry_after_s?"}}. Admission rejections
+// additionally carry a Retry-After header.
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, apiError{Error: err.Error()})
-}
-
-// errStatus maps workload/registry errors to HTTP statuses: storage
-// faults are the server's (500), everything else unrecognized is treated
-// as a bad request.
-func errStatus(err error) int {
-	switch {
-	case errors.Is(err, ErrModelNotFound):
-		return http.StatusNotFound
-	case errors.Is(err, ErrSessionBusy):
-		return http.StatusConflict
-	case errors.Is(err, ErrSeqMismatch):
-		return http.StatusConflict
-	case errors.Is(err, ErrQueueFull):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, ErrShuttingDown):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, ErrStorage), errors.Is(err, durability.ErrStorage):
-		return http.StatusInternalServerError
-	default:
-		return http.StatusBadRequest
+	body := errorBody{Code: errCode(status, err), Message: err.Error()}
+	if ra := retryAfter(err); ra > 0 {
+		body.RetryAfterS = ra.Seconds()
+		w.Header().Set("Retry-After", retryAfterHeader(ra))
 	}
+	s.writeJSON(w, status, errorEnvelope{Error: body})
 }
 
 // ListenAndServe binds cfg.Addr and serves until ctx is cancelled, then

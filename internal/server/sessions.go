@@ -16,8 +16,13 @@ import (
 	"time"
 
 	"marioh"
+	"marioh/internal/admission"
 	"marioh/internal/durability"
 )
+
+// budgetPoolSessions is the memory-budget pool charged for loaded
+// session engines.
+const budgetPoolSessions = "sessions"
 
 // JobSession is the job kind of an asynchronous session apply.
 const JobSession JobKind = "session"
@@ -45,6 +50,7 @@ const sessionMetaName = "meta.json"
 type sessionMeta struct {
 	ID       string     `json:"id"`
 	Model    string     `json:"model"`
+	Tenant   string     `json:"tenant,omitempty"`
 	Options  OptionSpec `json:"options"`
 	Created  time.Time  `json:"created"`
 	LastUsed time.Time  `json:"last_used"`
@@ -64,10 +70,12 @@ type sessionMeta struct {
 // load/park transitions (and is held across the whole restore, so only
 // one goroutine rehydrates); mu guards the hot fields.
 type serverSession struct {
-	ID    string
-	Model string
-	spec  OptionSpec // options the session was created with (rebuilds the Reconstructor at restore)
-	dir   string     // durable session directory; "" = memory-only
+	ID     string
+	Model  string
+	Tenant string            // owning tenant; its session quota slot is held until delete
+	spec   OptionSpec        // options the session was created with (rebuilds the Reconstructor at restore)
+	dir    string            // durable session directory; "" = memory-only
+	budget *admission.Budget // copied from the store at Install/Register; nil = unmetered
 
 	created time.Time
 
@@ -92,6 +100,11 @@ type serverSession struct {
 	// (guarded by mu).
 	recovery string
 	replayed int
+	// cost is the bytes currently charged to the sessions budget pool
+	// (guarded by mu); removed pins it at zero so a late refresh from an
+	// in-flight apply cannot re-charge a deleted session.
+	cost    int64
+	removed bool
 	// WAL/snapshot counter baselines for metric deltas (guarded by mu).
 	durWALRecords, durWALBytes, durSnapshots int64
 }
@@ -117,7 +130,8 @@ func (ss *serverSession) acquire() error {
 	return nil
 }
 
-// release frees the apply slot and refreshes the cached stats snapshot.
+// release frees the apply slot and refreshes the cached stats snapshot
+// (and the session's budget charge — applies grow the graph).
 func (ss *serverSession) release() {
 	ss.mu.Lock()
 	sess := ss.sess
@@ -132,6 +146,43 @@ func (ss *serverSession) release() {
 	}
 	ss.busy = false
 	ss.mu.Unlock()
+	if sess != nil {
+		ss.setCost(sessionCost(st))
+	}
+}
+
+// sessionCost estimates the resident bytes of a loaded session engine
+// from its stats: per-edge adjacency, per-node state, per-component
+// cached reconstruction, plus fixed overhead. An estimate, not
+// allocator truth — the budget trades exactness for zero instrumentation
+// cost on the hot path.
+func sessionCost(st marioh.SessionStats) int64 {
+	return 96*int64(st.Edges) + 48*int64(st.Nodes) + 64*int64(st.Components) + 4096
+}
+
+// setCost settles the session's estimated memory cost against the
+// budget's sessions pool (parked sessions carry zero).
+func (ss *serverSession) setCost(n int64) {
+	ss.mu.Lock()
+	if ss.removed {
+		n = 0
+	}
+	delta := n - ss.cost
+	ss.cost = n
+	ss.mu.Unlock()
+	if delta != 0 && ss.budget != nil {
+		ss.budget.Charge(budgetPoolSessions, delta)
+	}
+}
+
+// drop marks the session removed and releases its budget charge; called
+// when the session leaves the store for good (delete or memory-only
+// eviction).
+func (ss *serverSession) drop() {
+	ss.mu.Lock()
+	ss.removed = true
+	ss.mu.Unlock()
+	ss.setCost(0)
 }
 
 // publish forwards a progress event to the active apply's sink, if any.
@@ -160,6 +211,7 @@ func (ss *serverSession) info() SessionInfo {
 	return SessionInfo{
 		ID:         ss.ID,
 		Model:      ss.Model,
+		Tenant:     ss.Tenant,
 		Nodes:      ss.stats.Nodes,
 		Edges:      ss.stats.Edges,
 		Components: ss.stats.Components,
@@ -182,6 +234,7 @@ func (ss *serverSession) meta() sessionMeta {
 	return sessionMeta{
 		ID:         ss.ID,
 		Model:      ss.Model,
+		Tenant:     ss.Tenant,
 		Options:    ss.spec,
 		Created:    ss.created,
 		LastUsed:   ss.lastUsed,
@@ -210,6 +263,10 @@ func (ss *serverSession) writeMeta() error {
 // memory-only sessions are dropped — so a long-lived daemon's memory is
 // bounded by limit live graphs + caches.
 type sessionStore struct {
+	// budget meters loaded engines; set once before traffic, handed to
+	// each session at Install/Register. Nil = unmetered.
+	budget *admission.Budget
+
 	mu     sync.Mutex
 	limit  int                       // immutable after newSessionStore
 	nextID int                       // guarded by mu
@@ -236,6 +293,7 @@ func (st *sessionStore) Reserve() string {
 func (st *sessionStore) Install(ss *serverSession) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	ss.budget = st.budget
 	st.byID[ss.ID] = ss
 }
 
@@ -248,6 +306,7 @@ func (st *sessionStore) Register(ss *serverSession) {
 	if _, err := fmt.Sscanf(ss.ID, "s-%d", &n); err == nil && n > st.nextID {
 		st.nextID = n
 	}
+	ss.budget = st.budget
 	st.byID[ss.ID] = ss
 }
 
@@ -305,8 +364,10 @@ func (st *sessionStore) Counts() (loaded, parked int) {
 }
 
 // lruVictim picks the least-recently-used loaded, non-busy session not
-// in skip — but only when the loaded count exceeds the limit.
-func (st *sessionStore) lruVictim(skip map[string]bool) *serverSession {
+// in skip. Without force it returns nil while the loaded count is
+// within the limit; with force (memory-budget shedding) it returns a
+// victim regardless of the count bound.
+func (st *sessionStore) lruVictim(skip map[string]bool, force bool) *serverSession {
 	st.mu.Lock()
 	sessions := make([]*serverSession, 0, len(st.byID))
 	for _, ss := range st.byID {
@@ -334,7 +395,7 @@ func (st *sessionStore) lruVictim(skip map[string]bool) *serverSession {
 			lru, lruStamp = cand, stamp
 		}
 	}
-	if loaded <= st.limit {
+	if !force && loaded <= st.limit {
 		return nil
 	}
 	return lru
@@ -372,8 +433,8 @@ func (s *Server) sessionReconstructor(ss *serverSession, m *marioh.Model) (*mari
 // ensureLoaded rehydrates a parked durable session: resume from its
 // snapshot+WAL, record the recovery outcome, then re-park something else
 // if the load pushed memory over the limit. Loaded sessions return
-// immediately.
-func (s *Server) ensureLoaded(ss *serverSession) (*marioh.Session, error) {
+// immediately. ctx bounds the restore (the caller's request context).
+func (s *Server) ensureLoaded(ctx context.Context, ss *serverSession) (*marioh.Session, error) {
 	ss.loadMu.Lock()
 	defer ss.loadMu.Unlock()
 	ss.mu.Lock()
@@ -393,7 +454,8 @@ func (s *Server) ensureLoaded(ss *serverSession) (*marioh.Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("restoring session %s: %w", ss.ID, err)
 	}
-	sess, err = rec.ResumeSession(s.durableOptions(ss.dir))
+	dopts := s.durableOptions(ss.dir)
+	sess, err = rec.NewSession(ctx, marioh.SessionConfig{Durable: &dopts, Resume: true})
 	if err != nil {
 		return nil, fmt.Errorf("restoring session %s: %w", ss.ID, err)
 	}
@@ -406,11 +468,13 @@ func (s *Server) ensureLoaded(ss *serverSession) (*marioh.Session, error) {
 	// Reset the metric baselines: the counters restart with the process.
 	ss.durWALRecords, ss.durWALBytes, ss.durSnapshots = 0, 0, 0
 	ss.mu.Unlock()
+	ss.setCost(sessionCost(st))
 	s.metrics.Recovery(st.RecoveryOutcome, st.Replayed)
 	s.harvestDurability(ss, st)
 	s.cfg.Logf("mariohd: session %s restored from %s (outcome %s, %d records replayed, %d applies)",
 		ss.ID, ss.dir, st.RecoveryOutcome, st.Replayed, st.Applies)
 	s.enforceLimit(ss.ID)
+	s.enforceBudget(ss.ID)
 	return sess, nil
 }
 
@@ -453,40 +517,86 @@ func (s *Server) park(ss *serverSession) bool {
 	ss.mu.Lock()
 	ss.sess = nil
 	ss.mu.Unlock()
+	ss.setCost(0) // the engine is gone; only the on-disk state remains
 	if err := ss.writeMeta(); err != nil {
 		s.cfg.Logf("mariohd: session %s: writing meta: %v", ss.ID, err)
 	}
 	return true
 }
 
-// enforceLimit evicts loaded sessions past the limit, least recently
-// used first: durable sessions park to disk, memory-only ones are
-// dropped. Busy sessions are never evicted; keep is the id to exempt
-// (the session that triggered the enforcement).
+// evictOne parks (durable) or drops (memory-only) one victim session.
+// Returns false when the victim could not be parked — busy, or a
+// restore holds its loadMu — in which case it was added to skip so the
+// caller's next lruVictim pick moves on.
+func (s *Server) evictOne(victim *serverSession, skip map[string]bool, why string) bool {
+	persisted := false
+	switch {
+	case victim.durable():
+		if !s.park(victim) {
+			skip[victim.ID] = true
+			return false
+		}
+		persisted = true
+		s.cfg.Logf("mariohd: session %s parked to %s (%s)", victim.ID, victim.dir, why)
+	default:
+		if _, ok := s.sessions.Remove(victim.ID); ok {
+			victim.drop()
+			if victim.Tenant != "" {
+				s.admission.ReleaseSession(victim.Tenant)
+			}
+		}
+		s.cfg.Logf("mariohd: session %s evicted (%s)", victim.ID, why)
+	}
+	s.metrics.SessionEvicted(persisted)
+	return true
+}
+
+// enforceLimit evicts loaded sessions past the count limit, least
+// recently used first: durable sessions park to disk, memory-only ones
+// are dropped. Busy sessions are never evicted; keep is the id to
+// exempt (the session that triggered the enforcement).
 func (s *Server) enforceLimit(keep string) {
 	skip := map[string]bool{}
 	if keep != "" {
 		skip[keep] = true
 	}
 	for {
-		victim := s.sessions.lruVictim(skip)
+		victim := s.sessions.lruVictim(skip, false)
 		if victim == nil {
 			return
 		}
-		persisted := false
-		switch {
-		case victim.durable():
-			if !s.park(victim) {
-				skip[victim.ID] = true
-				continue
-			}
-			persisted = true
-			s.cfg.Logf("mariohd: session %s parked to %s (LRU, limit %d)", victim.ID, victim.dir, s.cfg.SessionLimit)
-		default:
-			s.sessions.Remove(victim.ID)
-			s.cfg.Logf("mariohd: session %s evicted (LRU, limit %d)", victim.ID, s.cfg.SessionLimit)
+		s.evictOne(victim, skip, fmt.Sprintf("LRU, limit %d", s.cfg.SessionLimit))
+	}
+}
+
+// enforceBudget sheds retained memory while the global budget is over
+// capacity, cheapest-to-rebuild first: dedup cache entries (pure
+// recomputation), then retained job results (inspectable history), then
+// idle sessions (durable ones park to disk and rehydrate on next use;
+// memory-only ones are dropped for good). keep exempts the session that
+// triggered the enforcement.
+func (s *Server) enforceBudget(keep string) {
+	over := s.budget.Over()
+	if over <= 0 {
+		return
+	}
+	s.dedup.ShrinkTo(s.dedup.Bytes() - over)
+	if over = s.budget.Over(); over <= 0 {
+		return
+	}
+	if freed := s.queue.ShedResults(over); freed > 0 {
+		s.cfg.Logf("mariohd: memory budget: shed %d bytes of retained job results", freed)
+	}
+	skip := map[string]bool{}
+	if keep != "" {
+		skip[keep] = true
+	}
+	for s.budget.Over() > 0 {
+		victim := s.sessions.lruVictim(skip, true)
+		if victim == nil {
+			return
 		}
-		s.metrics.SessionEvicted(persisted)
+		s.evictOne(victim, skip, fmt.Sprintf("memory budget %d", s.cfg.MemoryBudget))
 	}
 }
 
@@ -518,9 +628,14 @@ func (s *Server) loadParkedSessions() {
 			s.cfg.Logf("mariohd: %s: unreadable meta.json, skipping: %v", dir, err)
 			continue
 		}
+		tenant := m.Tenant
+		if tenant == "" || !admission.ValidTenant(tenant) {
+			tenant = admission.DefaultTenant
+		}
 		ss := &serverSession{
 			ID:       m.ID,
 			Model:    m.Model,
+			Tenant:   tenant,
 			spec:     m.Options,
 			dir:      dir,
 			created:  m.Created,
@@ -535,6 +650,9 @@ func (s *Server) loadParkedSessions() {
 			},
 		}
 		s.sessions.Register(ss)
+		// Recovered sessions count against their tenant but are never
+		// refused — the quota re-applies to new opens.
+		s.admission.AdoptSession(tenant)
 		n++
 	}
 	if n > 0 {
@@ -583,7 +701,21 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ss := &serverSession{Model: req.Model, spec: req.Options, created: time.Now(), lastUsed: time.Now()}
+	// Claim the tenant's session quota slot before building anything; it
+	// is held until the session is deleted (parking keeps it).
+	tenant := tenantFrom(r)
+	if err := s.admission.AcquireSession(tenant); err != nil {
+		s.reject(w, err)
+		return
+	}
+	installed := false
+	defer func() {
+		if !installed {
+			s.admission.ReleaseSession(tenant)
+		}
+	}()
+
+	ss := &serverSession{Model: req.Model, Tenant: tenant, spec: req.Options, created: time.Now(), lastUsed: time.Now()}
 	rec, err := s.sessionReconstructor(ss, m)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -593,9 +725,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var sess *marioh.Session
 	if s.cfg.DataDir != "" {
 		ss.dir = filepath.Join(s.sessionsRoot(), ss.ID)
-		sess, err = rec.OpenDurableSession(g, s.durableOptions(ss.dir))
+		dopts := s.durableOptions(ss.dir)
+		sess, err = rec.NewSession(r.Context(), marioh.SessionConfig{Graph: g, Durable: &dopts})
 	} else {
-		sess, err = rec.OpenSession(g)
+		sess, err = rec.NewSession(r.Context(), marioh.SessionConfig{Graph: g})
 	}
 	if err != nil {
 		s.writeError(w, errStatus(err), err)
@@ -609,8 +742,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.sessions.Install(ss)
+	installed = true
+	ss.setCost(sessionCost(ss.stats))
 	s.metrics.SessionOpen()
 	s.enforceLimit(ss.ID)
+	s.enforceBudget(ss.ID)
 	durable := ""
 	if ss.durable() {
 		durable = ", durable"
@@ -648,6 +784,10 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
 		return
+	}
+	ss.drop()
+	if ss.Tenant != "" {
+		s.admission.ReleaseSession(ss.Tenant)
 	}
 	if ss.durable() {
 		go func() {
@@ -700,23 +840,32 @@ func (s *Server) handleSessionApply(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// An apply is a job like any other for the tenant's quotas: claim a
+	// concurrent-job slot and charge the delta bytes before any work.
+	relJob, err := s.admission.AcquireJob(tenantFrom(r), int64(len(req.Deltas)))
+	if err != nil {
+		s.reject(w, err)
+		return
+	}
 	// One apply at a time per session: deltas are ordered mutations, and
 	// two in flight would interleave unpredictably on the worker pool.
 	// Acquiring before the load also pins the session in memory — the LRU
 	// enforcer never touches a busy session.
 	if err := ss.acquire(); err != nil {
+		relJob()
 		s.writeError(w, errStatus(err), err)
 		return
 	}
 	// The slot is freed exactly once per acquisition, on whichever comes
 	// first: the workload's defer, the job's terminal state (covers an
 	// async job cancelled while still queued, whose workload never runs),
-	// or a failed submission. Releasing re-checks the memory bound: a
+	// or a failed submission. Releasing re-checks the memory bounds: a
 	// session that was too busy to evict is fair game afterwards.
 	var relOnce sync.Once
 	release := func() {
 		relOnce.Do(func() {
 			ss.release()
+			relJob()
 			// Refresh the on-disk meta so a crash before the next park
 			// still leaves an accurate applies counter for the parked
 			// listing (and for clients computing a Seq guard against it).
@@ -726,10 +875,11 @@ func (s *Server) handleSessionApply(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 			s.enforceLimit("")
+			s.enforceBudget("")
 		})
 	}
 
-	sess, err := s.ensureLoaded(ss)
+	sess, err := s.ensureLoaded(r.Context(), ss)
 	if err != nil {
 		release()
 		s.writeError(w, errStatus(err), err)

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Multi-tenant serving smoke (run by `make load-check` and the CI
+# serving-load job): drive an in-process mariohd with concurrent
+# reconstructions and session churn spread over several tenants via
+# cmd/loadgen, under a retained-memory budget. The run fails unless
+#
+#   1. every served body is byte-identical to the serial single-process
+#      library reconstruction (loadgen always enforces this),
+#   2. no request is answered 5xx,
+#   3. the content-addressed dedup cache collapsed duplicate work
+#      (dedup hits > 0 — 200 requests over 8 shapes must collapse), and
+#   4. the daemon's RSS stays under the harness bound.
+#
+# The latency summary lands in BENCH_<date>-loadgen.json form at
+# $work/loadgen.json; compare serving recordings explicitly with
+# `benchdiff -against BENCH_<date>-loadgen.json` (latest-selection skips
+# them so they never become the substrate baseline).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REQUESTS="${REQUESTS:-200}"
+CONCURRENCY="${CONCURRENCY:-16}"
+MAX_RSS="${MAX_RSS:-2147483648}" # 2 GiB
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "== loadgen ($REQUESTS requests, $CONCURRENCY workers, 4 tenants, RSS <= $MAX_RSS)"
+go run ./cmd/loadgen \
+    -requests "$REQUESTS" -concurrency "$CONCURRENCY" \
+    -tenants 4 -unique 8 -sessions 8 \
+    -memory-budget $((256 * 1024 * 1024)) \
+    -require-dedup -fail-on-5xx -max-rss "$MAX_RSS" \
+    -note "load-check smoke" \
+    -out "$work/loadgen.json"
+
+echo "== summary"
+grep -E '"(dedup_hits|errors_5xx|byte_mismatches|rss_bytes)"' "$work/loadgen.json"
+
+echo "load-check ok"

@@ -59,7 +59,7 @@ func WriteDeltas(w io.Writer, ops []DeltaOp) error { return graph.WriteDeltas(w,
 //
 // A Session is safe for concurrent use; Apply calls serialize.
 //
-// A session opened with OpenDurableSession or ResumeSession additionally
+// A session opened durable (SessionConfig.Durable) additionally
 // write-ahead-logs every delta batch and snapshots its engine state under
 // a directory, so a crashed process resumes byte-identically to a cold
 // rebuild of the same delta sequence (see DurableOptions).
@@ -99,6 +99,76 @@ type SessionStats struct {
 	RecoveryOutcome string
 }
 
+// SessionConfig selects what kind of Session NewSession opens. The zero
+// value plus a Graph opens a plain in-memory session; set Durable to
+// persist to a directory, and Resume to recover a directory's existing
+// session instead of creating one.
+type SessionConfig struct {
+	// Graph is the projected graph to reconstruct over. Required unless
+	// Resume is set (a resumed session recovers its graph from disk). The
+	// graph is copied; the caller's Graph is never mutated.
+	Graph *Graph
+	// Durable, when non-nil, backs the session by Durable.Dir: every
+	// Apply appends its delta batch to a write-ahead log before
+	// reconstructing, and engine state is snapshotted periodically.
+	Durable *DurableOptions
+	// Resume recovers the existing durable session in Durable.Dir
+	// (newest valid snapshot + verified WAL replay) instead of creating
+	// a new one. Requires Durable.
+	Resume bool
+}
+
+// NewSession is the unified session entrypoint: it opens an in-memory,
+// durable, or resumed incremental reconstruction session over r's model
+// and configuration, selected by cfg. It subsumes OpenSession,
+// OpenDurableSession, and ResumeSession, which remain as deprecated
+// wrappers.
+//
+// The model is pinned at open time: a later r.Train or r.SetModel does
+// not affect the session (mixing models across components would break
+// the byte-equality guarantee). For Resume, the reconstructor must carry
+// the same model and configuration the session was created with;
+// byte-identity is asserted against the recorded fingerprints during
+// replay, degrading along the snapshot chain rather than ever returning
+// a wrong answer (see SessionStats.RecoveryOutcome).
+//
+// ctx bounds the open itself: cancellation is honored between the open's
+// phases (an in-flight snapshot load or WAL replay step is not
+// interrupted). The returned Session is not bound to ctx; each Apply
+// takes its own context.
+func (r *Reconstructor) NewSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
+	if ctx == nil {
+		return nil, errors.New("marioh: nil context")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch {
+	case cfg.Resume:
+		if cfg.Durable == nil {
+			return nil, errors.New("marioh: SessionConfig.Resume requires Durable")
+		}
+		if cfg.Graph != nil {
+			return nil, errors.New("marioh: SessionConfig.Resume recovers its graph from disk; Graph must be nil")
+		}
+		s, err := r.resumeSession(*cfg.Durable)
+		if err != nil {
+			return nil, err
+		}
+		// The resume may have outlived the caller's interest; don't hand
+		// back a session the caller has already abandoned.
+		if err := ctx.Err(); err != nil {
+			_ = s.Close()
+			return nil, err
+		}
+		return s, nil
+	case cfg.Durable != nil:
+		return r.openDurableSession(cfg.Graph, *cfg.Durable)
+	default:
+		return r.openSession(cfg.Graph)
+	}
+}
+
 // OpenSession starts an incremental reconstruction session over g using
 // r's model and configuration. The graph is copied; the caller's g is
 // never mutated. The session performs no work until the first Apply —
@@ -107,12 +177,20 @@ type SessionStats struct {
 // The model is pinned at open time: a later r.Train or r.SetModel does
 // not affect the session (mixing models across components would break the
 // byte-equality guarantee).
+//
+// Deprecated: use r.NewSession(ctx, SessionConfig{Graph: g}).
 func OpenSession(r *Reconstructor, g *Graph) (*Session, error) {
-	return r.OpenSession(g)
+	return r.openSession(g)
 }
 
 // OpenSession is the method form of marioh.OpenSession.
+//
+// Deprecated: use NewSession(ctx, SessionConfig{Graph: g}).
 func (r *Reconstructor) OpenSession(g *Graph) (*Session, error) {
+	return r.openSession(g)
+}
+
+func (r *Reconstructor) openSession(g *Graph) (*Session, error) {
 	m := r.Model()
 	if m == nil {
 		return nil, ErrNoModel
@@ -168,12 +246,20 @@ func HasDurableSession(dir string) bool { return durability.Exists(dir) }
 // periodically, so after a crash ResumeSession recovers the session
 // byte-identically to a cold rebuild. The directory must not already
 // hold a session. The graph is copied; the caller's g is never mutated.
+//
+// Deprecated: use r.NewSession(ctx, SessionConfig{Graph: g, Durable: &o}).
 func OpenDurableSession(r *Reconstructor, g *Graph, o DurableOptions) (*Session, error) {
-	return r.OpenDurableSession(g, o)
+	return r.openDurableSession(g, o)
 }
 
 // OpenDurableSession is the method form of marioh.OpenDurableSession.
+//
+// Deprecated: use NewSession(ctx, SessionConfig{Graph: g, Durable: &o}).
 func (r *Reconstructor) OpenDurableSession(g *Graph, o DurableOptions) (*Session, error) {
+	return r.openDurableSession(g, o)
+}
+
+func (r *Reconstructor) openDurableSession(g *Graph, o DurableOptions) (*Session, error) {
 	m := r.Model()
 	if m == nil {
 		return nil, ErrNoModel
@@ -203,12 +289,20 @@ func (r *Reconstructor) OpenDurableSession(g *Graph, o DurableOptions) (*Session
 // The reconstructor must carry the same model and configuration the
 // session was created with; byte-identity is asserted against the
 // recorded fingerprints during replay.
+//
+// Deprecated: use r.NewSession(ctx, SessionConfig{Durable: &o, Resume: true}).
 func ResumeSession(r *Reconstructor, o DurableOptions) (*Session, error) {
-	return r.ResumeSession(o)
+	return r.resumeSession(o)
 }
 
 // ResumeSession is the method form of marioh.ResumeSession.
+//
+// Deprecated: use NewSession(ctx, SessionConfig{Durable: &o, Resume: true}).
 func (r *Reconstructor) ResumeSession(o DurableOptions) (*Session, error) {
+	return r.resumeSession(o)
+}
+
+func (r *Reconstructor) resumeSession(o DurableOptions) (*Session, error) {
 	m := r.Model()
 	if m == nil {
 		return nil, ErrNoModel
