@@ -4,7 +4,7 @@ GO ?= go
 # PRs (compare runs with benchstat; see README "Benchmarks"), plus the
 # shard-engine reconstruction bench (serial vs -shards N on the
 # multi-component graph; see README "Sharding").
-BENCH_SUBSTRATE ?= BenchmarkHasEdge|BenchmarkMaximalCliques|BenchmarkScoreCliques|BenchmarkFeatures|BenchmarkDegeneracyOrdering|BenchmarkCommonNeighborCount|BenchmarkSumMinCommonWeight|BenchmarkMLPForward|BenchmarkParallelScoring|BenchmarkShardedReconstruct|BenchmarkIncrementalApply|BenchmarkCorpusReconstruct
+BENCH_SUBSTRATE ?= BenchmarkHasEdge|BenchmarkMaximalCliques|BenchmarkScoreCliques|BenchmarkFeatures|BenchmarkDegeneracyOrdering|BenchmarkCommonNeighborCount|BenchmarkSumMinCommonWeight|BenchmarkMLPForward|BenchmarkParallelScoring|BenchmarkShardedReconstruct|BenchmarkIncrementalApply|BenchmarkCorpusReconstruct|BenchmarkParallelRound|BenchmarkCliqueEnumParallel
 
 # Flags for the bench-regression gate (CI overrides warn-only on pushes).
 BENCHDIFF_FLAGS ?= -warn-only
@@ -57,7 +57,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -run 'Batch|Cancel|Progress|Parallel|Server|Queue|Registry|Shard|RunTasks|Session|Engine|Durability|WAL|Snapshot' ./...
+	$(GO) test -race -run 'Batch|Cancel|Progress|Parallel|Pipeline|Server|Queue|Registry|Shard|RunTasks|Session|Engine|Durability|WAL|Snapshot' ./...
 
 # End-to-end mariohd smoke test: boot the daemon, round-trip a
 # reconstruction against a golden CLI run, exercise graceful shutdown.

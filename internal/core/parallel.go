@@ -7,15 +7,53 @@ import (
 	"marioh/internal/graph"
 )
 
-// scoreParallelThreshold is the clique count below which scoring stays
-// single-threaded; goroutine fan-out only pays for itself on large rounds.
-const scoreParallelThreshold = 256
+// Defaults of the round-engine parallelism knobs (Options.
+// ScoreParallelThreshold and Options.PipelineChunk); pinned by
+// TestParallelTuningDefaults.
+const (
+	// defaultScoreParallelThreshold is the clique count below which a
+	// round's scoring (and the fused enumerate→score pipeline) stays
+	// single-threaded; goroutine fan-out only pays for itself on large
+	// rounds.
+	defaultScoreParallelThreshold = 256
+	// defaultPipelineChunk is the number of cliques per chunk streamed
+	// from enumeration workers to scoring workers in the fused pipeline —
+	// large enough to amortize the channel hand-off, small enough to keep
+	// the scoring workers fed.
+	defaultPipelineChunk = 64
+)
+
+// resolveWorkers maps an Options.Parallelism value to a worker count:
+// ≤ 0 means one worker per GOMAXPROCS, otherwise the value itself.
+func resolveWorkers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// scoreFanout is the worker count actually used to score n cliques under
+// the configured parallelism and threshold: one below the threshold,
+// never more than one worker per clique, never more than configured.
+func scoreFanout(n, workers, threshold int) int {
+	if n < threshold {
+		return 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
 
 // ScoreCliques evaluates the classifier on each clique (treated as
 // maximal) and returns the scores in input order. It is the exported form
-// of the per-round scoring pass, used by benchmarks and analyses.
+// of the per-round scoring pass, used by benchmarks and analyses; it runs
+// at the default parallelism (GOMAXPROCS) and threshold.
 func ScoreCliques(g *graph.Graph, m *Model, cliques [][]int) []float64 {
-	scored := scoreCliques(g, m, cliques)
+	scored := scoreCliques(g, m, cliques, resolveWorkers(0), defaultScoreParallelThreshold)
 	out := make([]float64, len(scored))
 	for i, s := range scored {
 		out[i] = s.score
@@ -23,29 +61,26 @@ func ScoreCliques(g *graph.Graph, m *Model, cliques [][]int) []float64 {
 	return out
 }
 
-// scoreCliques evaluates the classifier on every maximal clique. Scoring is
-// read-only on the graph and the model, so rounds with many cliques fan
-// out across GOMAXPROCS workers; results are written by index, keeping the
-// output identical to the sequential path. Each worker owns one scorer, so
-// the whole pass reuses feature and activation buffers instead of
-// allocating per clique.
-func scoreCliques(g *graph.Graph, m *Model, cliques [][]int) []scoredClique {
+// scoreCliques evaluates the classifier on every maximal clique. Scoring
+// is read-only on the graph and the model, so rounds with at least
+// threshold cliques fan out across up to workers goroutines; results are
+// written by index, keeping the output identical to the sequential path.
+// Each worker owns one scorer, so the whole pass reuses feature and
+// activation buffers instead of allocating per clique.
+func scoreCliques(g *graph.Graph, m *Model, cliques [][]int, workers, threshold int) []scoredClique {
 	scored := make([]scoredClique, len(cliques))
-	if len(cliques) < scoreParallelThreshold {
+	w := scoreFanout(len(cliques), workers, threshold)
+	if w == 1 {
 		var sc scorer
 		for i, q := range cliques {
 			scored[i] = scoredClique{nodes: q, score: m.scoreScratch(g, q, true, &sc)}
 		}
 		return scored
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cliques) {
-		workers = len(cliques)
-	}
 	var wg sync.WaitGroup
-	chunk := (len(cliques) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
+	chunk := (len(cliques) + w - 1) / w
+	for i := 0; i < w; i++ {
+		lo := i * chunk
 		hi := lo + chunk
 		if hi > len(cliques) {
 			hi = len(cliques)

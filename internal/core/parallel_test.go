@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"marioh/internal/datasets"
+	"marioh/internal/graph"
+)
+
+// TestParallelTuningDefaults pins the documented defaults of the round
+// engine's tuning knobs: ScoreParallelThreshold 256 and PipelineChunk 64,
+// both as constants and through Options.defaults() resolution.
+func TestParallelTuningDefaults(t *testing.T) {
+	if defaultScoreParallelThreshold != 256 {
+		t.Errorf("defaultScoreParallelThreshold = %d, want the documented 256", defaultScoreParallelThreshold)
+	}
+	if defaultPipelineChunk != 64 {
+		t.Errorf("defaultPipelineChunk = %d, want the documented 64", defaultPipelineChunk)
+	}
+	var o Options
+	o.defaults()
+	if o.ScoreParallelThreshold != 256 || o.PipelineChunk != 64 {
+		t.Errorf("Options.defaults() resolved threshold=%d chunk=%d, want 256/64",
+			o.ScoreParallelThreshold, o.PipelineChunk)
+	}
+	o = Options{ScoreParallelThreshold: 7, PipelineChunk: 9}
+	o.defaults()
+	if o.ScoreParallelThreshold != 7 || o.PipelineChunk != 9 {
+		t.Errorf("Options.defaults() clobbered explicit threshold=%d chunk=%d",
+			o.ScoreParallelThreshold, o.PipelineChunk)
+	}
+}
+
+// TestScoreFanoutHonorsParallelism is the regression test for the bug
+// where scoreCliques always fanned out to GOMAXPROCS past the threshold,
+// ignoring the configured parallelism: WithParallelism(1) must mean one
+// worker no matter how many cliques a round scores.
+func TestScoreFanoutHonorsParallelism(t *testing.T) {
+	cases := []struct {
+		n, workers, threshold, want int
+	}{
+		{n: 10000, workers: 1, threshold: 256, want: 1}, // the old bug: this fanned out
+		{n: 10000, workers: 4, threshold: 256, want: 4},
+		{n: 100, workers: 4, threshold: 256, want: 1}, // below threshold stays serial
+		{n: 256, workers: 4, threshold: 256, want: 4}, // at threshold fans out
+		{n: 3, workers: 8, threshold: 1, want: 3},     // never more workers than cliques
+		{n: 10, workers: 0, threshold: 1, want: 1},    // degenerate input clamps to 1
+	}
+	for _, c := range cases {
+		if got := scoreFanout(c.n, c.workers, c.threshold); got != c.want {
+			t.Errorf("scoreFanout(%d, %d, %d) = %d, want %d", c.n, c.workers, c.threshold, got, c.want)
+		}
+	}
+	if got := resolveWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("resolveWorkers(0) = %d, want GOMAXPROCS (%d)", got, runtime.GOMAXPROCS(0))
+	}
+	if got := resolveWorkers(3); got != 3 {
+		t.Errorf("resolveWorkers(3) = %d, want 3", got)
+	}
+}
+
+// pipelineTestSetup trains a small model over the eu dataset's projected
+// graph, the same substrate the other core tests score against.
+func pipelineTestSetup(t testing.TB) (*Model, *graph.Graph) {
+	t.Helper()
+	ds := datasets.MustByName("eu", 1)
+	src := ds.Source.Reduced()
+	g := src.Project()
+	m := Train(g, src, TrainOptions{Seed: 1, Epochs: 10})
+	return m, g
+}
+
+// TestPipelineEnumerateScoredMatchesSerial checks that the fused pipeline
+// produces the same scored-clique multiset as the materialize-then-score
+// path, across worker counts, with pipeline knobs forced low so the
+// chunked hand-off engages. (The induced-subgraph mapBack path is covered
+// end-to-end by TestParallelRoundEngineMatchesSerial's cached-piece runs,
+// whose dirty components re-enumerate through Subgraph.)
+func TestPipelineEnumerateScoredMatchesSerial(t *testing.T) {
+	m, g := pipelineTestSetup(t)
+
+	wantCliques := g.MaximalCliquesLimit(2, -1)
+	want := scoreCliques(g, m, wantCliques, 1, defaultScoreParallelThreshold)
+	sortByScoreDesc(want)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, truncated := enumerateScored(g, m, -1, workers, 3, 1, nil)
+		if truncated {
+			t.Fatalf("workers=%d: unexpected truncation without a limit", workers)
+		}
+		sortByScoreDesc(got)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d scored cliques, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].score != want[i].score || !equalNodes(got[i].nodes, want[i].nodes) {
+				t.Fatalf("workers=%d: scored clique %d diverged", workers, i)
+			}
+		}
+	}
+
+	// The limit path must reproduce the serial truncation prefix exactly.
+	for _, limit := range []int{1, 5, len(wantCliques), len(wantCliques) + 10} {
+		ref := scoreCliques(g, m, g.MaximalCliquesLimit(2, limit), 1, defaultScoreParallelThreshold)
+		for _, workers := range []int{1, 4} {
+			got, _ := enumerateScored(g, m, limit, workers, 3, 1, nil)
+			if len(got) != len(ref) {
+				t.Fatalf("limit=%d workers=%d: %d cliques, want %d", limit, workers, len(got), len(ref))
+			}
+			for i := range got {
+				if got[i].score != ref[i].score || !equalNodes(got[i].nodes, ref[i].nodes) {
+					t.Fatalf("limit=%d workers=%d: clique %d diverged", limit, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func equalNodes(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelRoundEngineMatchesSerial drives full reconstructions — the
+// serial pipeline, the cached piece engine, and the sharded orchestrator —
+// at several parallelism settings with the pipeline knobs forced low, and
+// requires byte-identical hypergraphs throughout.
+func TestParallelRoundEngineMatchesSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	m, g := pipelineTestSetup(t)
+
+	render := func(res *Result) []byte {
+		var buf bytes.Buffer
+		if err := res.Hypergraph.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	serial, err := ReconstructContext(context.Background(), g, m, Options{Seed: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(serial)
+
+	for _, par := range []int{0, 2, 8} {
+		opts := Options{Seed: 1, Parallelism: par, ScoreParallelThreshold: 1, PipelineChunk: 2}
+		res, err := ReconstructContext(context.Background(), g, m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(render(res), want) {
+			t.Errorf("Parallelism=%d serial pipeline diverged", par)
+		}
+		piece, err := ReconstructPiece(context.Background(), g.Clone(), m, opts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(render(piece), want) {
+			t.Errorf("Parallelism=%d cached piece engine diverged", par)
+		}
+		sharded, err := ReconstructSharded(context.Background(), g, m, opts, ShardOptions{Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(render(sharded), want) {
+			t.Errorf("Parallelism=%d sharded orchestrator diverged", par)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// The fused enumerate→score pipeline: once a round proves itself large
+// enough (and workers > 1), clique enumeration stops materializing the
+// full [][]int list and streams chunks straight into concurrent scorers.
+// Small or serial rounds keep the classic batch phases — enumerate, sort,
+// score — with per-clique allocations replaced by an arena; fusing the two
+// phases on a single core only thrashes cache. Determinism argument, in
+// three pieces:
+//
+//   - A clique's score depends only on the graph and the clique (scorer
+//     structs are pure scratch), so where and when it is scored cannot
+//     change the value.
+//   - When MaxCliqueLimit is off, the set of cliques a round sees is
+//     order-independent, and every consumer of the scored slice
+//     (searchComponent's phase sorts) orders by (score, nodes) — a strict
+//     total order over distinct cliques — so the stream order never
+//     reaches the output. The pipeline is therefore free to emit scored
+//     cliques in whatever order scheduling produces.
+//   - When MaxCliqueLimit is on, the truncation point does depend on the
+//     serial enumeration order, so that path materializes the cliques via
+//     graph.MaximalCliquesParallel — which reproduces the exact serial
+//     prefix from index-addressed per-seed buckets — and batch-scores them.
+package core
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"marioh/internal/graph"
+)
+
+// arenaBlockInts sizes the blocks nodeArena carves clique node slices
+// from. One block serves a few hundred small cliques, replacing per-clique
+// allocations — the dominant share of the old per-round alloc count — while
+// keeping the waste of a round's half-filled final block small.
+const arenaBlockInts = 1024
+
+// nodeArena hands out int slices carved from large shared blocks. Slices
+// remain valid when the arena moves on to a new block (the old block stays
+// referenced by the slices cut from it); a block is freed when every
+// clique cut from it is dropped. Rounds drop their cliques together, so
+// blocks die with the round — except entries kept by the round cache,
+// which can pin the blocks their component's cliques share with others;
+// that retention is bounded by one round's clique volume.
+type nodeArena struct {
+	buf []int
+}
+
+// alloc returns a zeroed slice of n ints with full-slice-expression
+// capacity, so appends by the caller can never bleed into a neighbor.
+func (a *nodeArena) alloc(n int) []int {
+	if len(a.buf)+n > cap(a.buf) {
+		size := arenaBlockInts
+		if n > size {
+			size = n
+		}
+		a.buf = make([]int, 0, size)
+	}
+	lo := len(a.buf)
+	a.buf = a.buf[: lo+n : cap(a.buf)]
+	return a.buf[lo : lo+n : lo+n]
+}
+
+// cliqueChunk is the hand-off unit between enumeration and scoring
+// workers. The clique headers are reused through a sync.Pool; the node
+// storage comes from the chunk's arena and escapes into scoredCliques, so
+// the arena keeps filling its current block across reuses instead of
+// being reset.
+type cliqueChunk struct {
+	cliques [][]int
+	arena   nodeArena
+}
+
+// enumerateScored enumerates the maximal cliques of g (min size 2, capped
+// at limit when > 0) and scores each as maximal, using at most workers
+// goroutines, chunkSize cliques per pipeline hand-off, and staying serial
+// below threshold cliques. mapBack, when non-nil, relabels clique nodes
+// from g's ids to mapBack[id] after scoring (the induced-subgraph dirty
+// path); it must be ascending so relabeled cliques stay sorted.
+//
+// The scored slice is in no particular order when limit ≤ 0 — callers
+// sort by (score, nodes) before anything order-sensitive — and reports
+// whether enumeration was truncated by limit.
+func enumerateScored(g *graph.Graph, m *Model, limit, workers, chunkSize, threshold int, mapBack []int) ([]scoredClique, bool) {
+	if limit > 0 {
+		// Truncation depends on the serial enumeration prefix, so the
+		// capped path materializes the cliques in exact serial order and
+		// batch-scores them.
+		cliques := g.MaximalCliquesParallel(2, limit, workers)
+		truncated := len(cliques) >= limit
+		scored := scoreCliques(g, m, cliques, workers, threshold)
+		remapNodes(scored, mapBack)
+		return scored, truncated
+	}
+
+	s := g.CliqueSeeds(2)
+	n := s.NumSeeds()
+	if workers > n {
+		workers = n
+	}
+
+	// Serial prefix: enumerate (without scoring) until the round has proven
+	// itself big enough to pay for fan-out. Rounds below the threshold
+	// never spawn a goroutine; at workers == 1 this covers the whole graph.
+	// Scoring is deliberately NOT fused into this loop: interleaving the
+	// scorers' feature extraction with Bron–Kerbosch's bitset walk per
+	// clique thrashes cache on a single core — batch phases keep each
+	// working set hot, and the arena keeps the alloc win either way.
+	var (
+		cliques [][]int
+		arena   nodeArena
+		enum    graph.CliqueEnum
+	)
+	// emit is hoisted out of the seed loop: one closure per round, not one
+	// per seed (which showed up as the top allocator in round profiles).
+	emit := func(c []int) bool {
+		nodes := arena.alloc(len(c))
+		copy(nodes, c)
+		cliques = append(cliques, nodes)
+		return true
+	}
+	seed := 0
+	for ; seed < n && (workers <= 1 || len(cliques) < threshold); seed++ {
+		s.EnumSeed(seed, &enum, emit)
+	}
+	if seed >= n {
+		// The whole graph fit in the serial prefix: reproduce the classic
+		// batch shape — lex-sorted cliques, then one scoring pass (which
+		// itself fans out past the threshold when workers allow).
+		// Lex-sorting first keeps this path's scoring order — and
+		// therefore its memory-access pattern — identical to the
+		// materialize-then-score reference.
+		slices.SortFunc(cliques, cmpNodes)
+		scored := scoreCliques(g, m, cliques, workers, threshold)
+		remapNodes(scored, mapBack)
+		return scored, false
+	}
+	scored := scoreCliques(g, m, cliques, workers, threshold)
+	remapNodes(scored, mapBack)
+	return pipelineScore(g, m, s, seed, workers, chunkSize, mapBack, scored), false
+}
+
+// pipelineScore drains seeds [start, NumSeeds) through the chunked
+// pipeline: enumeration workers pull seed indices from a shared counter
+// and emit pooled chunks into a bounded channel; scoring workers consume
+// chunks into private result slices, which are concatenated at the end
+// (in no particular order — see the package comment). Appending to the
+// already-scored serial prefix keeps the whole round in one slice.
+func pipelineScore(g *graph.Graph, m *Model, s *graph.CliqueSeeder, start, workers, chunkSize int, mapBack []int, scored []scoredClique) []scoredClique {
+	n := s.NumSeeds()
+	enumWorkers := workers
+	if enumWorkers > n-start {
+		enumWorkers = n - start
+	}
+	ch := make(chan *cliqueChunk, 2*workers)
+	pool := &sync.Pool{New: func() any { return &cliqueChunk{} }}
+	var next atomic.Int64
+	next.Store(int64(start))
+
+	var producers sync.WaitGroup
+	for w := 0; w < enumWorkers; w++ {
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			var enum graph.CliqueEnum
+			chunk := pool.Get().(*cliqueChunk)
+			emit := func(c []int) bool {
+				nodes := chunk.arena.alloc(len(c))
+				copy(nodes, c)
+				chunk.cliques = append(chunk.cliques, nodes)
+				if len(chunk.cliques) >= chunkSize {
+					ch <- chunk
+					chunk = pool.Get().(*cliqueChunk)
+				}
+				return true
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				s.EnumSeed(i, &enum, emit)
+			}
+			if len(chunk.cliques) > 0 {
+				ch <- chunk
+			} else {
+				pool.Put(chunk)
+			}
+		}()
+	}
+
+	results := make([][]scoredClique, workers)
+	var consumers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		consumers.Add(1)
+		go func(out *[]scoredClique) {
+			defer consumers.Done()
+			var sc scorer
+			var local []scoredClique
+			for chunk := range ch {
+				for _, nodes := range chunk.cliques {
+					score := m.scoreScratch(g, nodes, true, &sc)
+					remapInPlace(nodes, mapBack)
+					local = append(local, scoredClique{nodes: nodes, score: score})
+				}
+				chunk.cliques = chunk.cliques[:0]
+				pool.Put(chunk)
+			}
+			*out = local
+		}(&results[w])
+	}
+	producers.Wait()
+	close(ch)
+	consumers.Wait()
+	for _, r := range results {
+		scored = append(scored, r...)
+	}
+	return scored
+}
+
+// remapInPlace relabels nodes through back (nil = identity). back is
+// ascending, so a sorted clique stays sorted.
+func remapInPlace(nodes []int, back []int) {
+	if back == nil {
+		return
+	}
+	for j, u := range nodes {
+		nodes[j] = back[u]
+	}
+}
+
+// remapNodes relabels every scored clique through back (nil = identity).
+func remapNodes(scored []scoredClique, back []int) {
+	if back == nil {
+		return
+	}
+	for i := range scored {
+		remapInPlace(scored[i].nodes, back)
+	}
+}

@@ -2,7 +2,10 @@ package core
 
 import (
 	"context"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"marioh/internal/graph"
 	"marioh/internal/hypergraph"
@@ -64,6 +67,16 @@ type SearchOptions struct {
 	// ids, so a shard draws exactly the samples the serial run draws for
 	// the same component.
 	OrigID []int
+	// Parallelism bounds the worker fan-out of the round (enumeration,
+	// scoring, per-component search); ≤ 0 = GOMAXPROCS, 1 = serial.
+	// Output bytes are identical at every setting.
+	Parallelism int
+	// ScoreParallelThreshold is the clique count at which scoring and the
+	// fused pipeline fan out; ≤ 0 = the documented default (256).
+	ScoreParallelThreshold int
+	// PipelineChunk is the fused pipeline's hand-off chunk size; ≤ 0 =
+	// the documented default (64).
+	PipelineChunk int
 	// StallDump, when true, dumps the remaining edges of every component
 	// that accepted nothing this round as size-2 hyperedges — the
 	// termination guarantee for bottomed-out (or α-frozen) thresholds,
@@ -102,6 +115,15 @@ func BidirectionalSearch(g *graph.Graph, m *Model, opts SearchOptions, rec *hype
 	if limit <= 0 {
 		limit = -1
 	}
+	workers := resolveWorkers(opts.Parallelism)
+	threshold := opts.ScoreParallelThreshold
+	if threshold <= 0 {
+		threshold = defaultScoreParallelThreshold
+	}
+	chunkSize := opts.PipelineChunk
+	if chunkSize <= 0 {
+		chunkSize = defaultPipelineChunk
+	}
 	key := componentKeys(g, opts.OrigID)
 
 	// Partition the live components into cached ones (unchanged since
@@ -136,33 +158,18 @@ func BidirectionalSearch(g *graph.Graph, m *Model, opts SearchOptions, rec *hype
 		var scored []scoredClique
 		if opts.cache == nil || len(opts.cache.comps) == 0 {
 			// Cache-free (the serial pipeline) or fully cold: enumerate
-			// the graph directly.
-			cliques := g.MaximalCliquesLimit(2, limit)
-			if ctx.Err() != nil {
-				return 0
-			}
-			truncated = limit > 0 && len(cliques) >= limit
-			scored = scoreCliques(g, m, cliques)
+			// the graph directly, fused with scoring.
+			scored, truncated = enumerateScored(g, m, limit, workers, chunkSize, threshold, nil)
 		} else {
 			// Re-enumerate and re-score only the changed components,
 			// through the induced subgraph — exact because dirtyNodes is
 			// a union of whole components, the relabeling is
 			// order-preserving, and every feature is component-local.
 			sub, back := g.Subgraph(dirtyNodes)
-			cliques := sub.MaximalCliquesLimit(2, limit)
-			if ctx.Err() != nil {
-				return 0
-			}
-			truncated = limit > 0 && len(cliques) >= limit
-			scored = scoreCliques(sub, m, cliques)
-			for i := range scored {
-				q := scored[i].nodes
-				mapped := make([]int, len(q))
-				for j, u := range q {
-					mapped[j] = back[u]
-				}
-				scored[i].nodes = mapped
-			}
+			scored, truncated = enumerateScored(sub, m, limit, workers, chunkSize, threshold, back)
+		}
+		if ctx.Err() != nil {
+			return 0
 		}
 		for _, sc := range scored {
 			k := key[sc.nodes[0]]
@@ -180,13 +187,20 @@ func BidirectionalSearch(g *graph.Graph, m *Model, opts SearchOptions, rec *hype
 
 	accepted := 0
 	acceptedBy := make(map[int]int, len(groups))
-	for _, k := range keys {
-		if ctx.Err() != nil {
-			break
+	if workers > 1 && len(keys) > 1 {
+		accepted = searchComponentsParallel(g, m, opts, rec, keys, groups, acceptedBy, workers)
+	} else {
+		for _, k := range keys {
+			if ctx.Err() != nil {
+				break
+			}
+			edges := searchComponent(g, m, opts, k, groups[k])
+			for _, e := range edges {
+				rec.Add(e)
+			}
+			acceptedBy[k] = len(edges)
+			accepted += len(edges)
 		}
-		a := searchComponent(g, m, opts, rec, k, groups[k])
-		acceptedBy[k] = a
-		accepted += a
 	}
 
 	if opts.StallDump && ctx.Err() == nil {
@@ -217,8 +231,66 @@ func BidirectionalSearch(g *graph.Graph, m *Model, opts SearchOptions, rec *hype
 	return accepted
 }
 
-// searchComponent runs both phases of a round on one component's cliques.
-func searchComponent(g *graph.Graph, m *Model, opts SearchOptions, rec *hypergraph.Hypergraph, compKey int, cliques []scoredClique) int {
+// searchComponentsParallel fans searchComponent over the components of
+// the round. Safe because components never share edges: each worker
+// mutates only its component's adjacency rows (the graph's global edge/
+// weight counters are atomic), and every graph read a component's search
+// performs — scoring features, edge-presence checks — is local to that
+// component, so it observes exactly the state the serial walk would.
+// Acceptances land in index-addressed per-component buffers, never in
+// shared state, and are merged into rec in ascending key order after the
+// join — the order the serial walk inserts them — so rec's in-memory
+// insertion order, the acceptance counts, and the cache bookkeeping all
+// match the serial path exactly.
+func searchComponentsParallel(g *graph.Graph, m *Model, opts SearchOptions, rec *hypergraph.Hypergraph, keys []int, groups map[int][]scoredClique, acceptedBy map[int]int, workers int) int {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([][][]int, len(keys))
+	processed := make([]bool, len(keys))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= len(keys) || ctx.Err() != nil {
+					return
+				}
+				results[idx] = searchComponent(g, m, opts, keys[idx], groups[keys[idx]])
+				processed[idx] = true
+			}
+		}()
+	}
+	wg.Wait()
+	accepted := 0
+	for i, k := range keys {
+		if !processed[i] {
+			// Skipped by cancellation; like the serial loop's break, the
+			// component stays out of acceptedBy.
+			continue
+		}
+		for _, e := range results[i] {
+			rec.Add(e)
+		}
+		acceptedBy[k] = len(results[i])
+		accepted += len(results[i])
+	}
+	return accepted
+}
+
+// searchComponent runs both phases of a round on one component's cliques,
+// consuming accepted cliques from g and returning them in acceptance
+// order; the caller records them into the reconstruction. Mutations and
+// reads stay inside the component, which is what makes the parallel
+// fan-out above exact.
+func searchComponent(g *graph.Graph, m *Model, opts SearchOptions, compKey int, cliques []scoredClique) [][]int {
 	ctx := opts.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -232,7 +304,7 @@ func searchComponent(g *graph.Graph, m *Model, opts SearchOptions, rec *hypergra
 		}
 	}
 
-	accepted := 0
+	var accepted [][]int
 	// Phase 1: most promising cliques, highest score first.
 	sortByScoreDesc(pos)
 	for i, sc := range pos {
@@ -240,9 +312,8 @@ func searchComponent(g *graph.Graph, m *Model, opts SearchOptions, rec *hypergra
 			return accepted
 		}
 		if allEdgesPresent(g, sc.nodes) {
-			rec.Add(sc.nodes)
+			accepted = append(accepted, sc.nodes)
 			consumeClique(g, sc.nodes)
-			accepted++
 		}
 	}
 
@@ -279,9 +350,8 @@ func searchComponent(g *graph.Graph, m *Model, opts SearchOptions, rec *hypergra
 	sortByScoreDesc(subs)
 	for _, sc := range subs {
 		if allEdgesPresent(g, sc.nodes) {
-			rec.Add(sc.nodes)
+			accepted = append(accepted, sc.nodes)
 			consumeClique(g, sc.nodes)
-			accepted++
 		}
 	}
 	return accepted
@@ -427,29 +497,43 @@ func consumeClique(g *graph.Graph, q []int) {
 
 // sortByScoreDesc orders by descending score, breaking ties by clique
 // lexicographic order for determinism.
+// The score sorts use concrete slices.SortFunc rather than the reflective
+// sort.SliceStable: (score, nodes) is a strict total order over the distinct
+// cliques of a round, so every correct sort — stable or not — produces the
+// same permutation, and the reflection-free swap is measurably cheaper on
+// large rounds.
 func sortByScoreDesc(s []scoredClique) {
-	sort.SliceStable(s, func(i, j int) bool {
-		if s[i].score != s[j].score {
-			return s[i].score > s[j].score
+	slices.SortFunc(s, func(a, b scoredClique) int {
+		if a.score != b.score {
+			if a.score > b.score {
+				return -1
+			}
+			return 1
 		}
-		return lessNodes(s[i].nodes, s[j].nodes)
+		return cmpNodes(a.nodes, b.nodes)
 	})
 }
 
 func sortByScoreAsc(s []scoredClique) {
-	sort.SliceStable(s, func(i, j int) bool {
-		if s[i].score != s[j].score {
-			return s[i].score < s[j].score
+	slices.SortFunc(s, func(a, b scoredClique) int {
+		if a.score != b.score {
+			if a.score < b.score {
+				return -1
+			}
+			return 1
 		}
-		return lessNodes(s[i].nodes, s[j].nodes)
+		return cmpNodes(a.nodes, b.nodes)
 	})
 }
 
-func lessNodes(a, b []int) bool {
+func cmpNodes(a, b []int) int {
 	for i := 0; i < len(a) && i < len(b); i++ {
 		if a[i] != b[i] {
-			return a[i] < b[i]
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
 		}
 	}
-	return len(a) < len(b)
+	return len(a) - len(b)
 }

@@ -21,6 +21,10 @@ type ShardOptions struct {
 	TargetEdges int
 	// Workers bounds how many shards reconstruct concurrently on the
 	// built-in pool; 0 means GOMAXPROCS. Ignored when Executor is set.
+	// It composes with Options.Parallelism, which each piece's round
+	// engine honors internally (enumeration/scoring/per-component
+	// fan-out), so total goroutines approach Workers × Parallelism;
+	// callers running many shards typically keep Parallelism at 1.
 	Workers int
 	// Executor, when non-nil, runs the per-shard tasks instead of the
 	// built-in pool — the hook external schedulers (e.g. the mariohd job

@@ -115,5 +115,5 @@ func (g *Graph) Density() float64 {
 	if n < 2 {
 		return 0
 	}
-	return float64(g.numEdges) / (float64(n) * float64(n-1) / 2)
+	return float64(g.NumEdges()) / (float64(n) * float64(n-1) / 2)
 }

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math/bits"
+	"slices"
 	"sort"
 )
 
@@ -46,9 +47,6 @@ func (g *Graph) MaximalCliques(minSize int) [][]int {
 // MaximalCliquesLimit behaves like MaximalCliques but stops after emitting
 // limit cliques (limit < 0 means no limit).
 func (g *Graph) MaximalCliquesLimit(minSize, limit int) [][]int {
-	if minSize < 1 {
-		minSize = 1
-	}
 	var out [][]int
 	g.EachMaximalClique(minSize, func(c []int) bool {
 		cc := make([]int, len(c))
@@ -56,7 +54,7 @@ func (g *Graph) MaximalCliquesLimit(minSize, limit int) [][]int {
 		out = append(out, cc)
 		return limit < 0 || len(out) < limit
 	})
-	sort.Slice(out, func(i, j int) bool { return lessIntSlice(out[i], out[j]) })
+	slices.SortFunc(out, cmpIntSlice)
 	return out
 }
 
@@ -72,18 +70,73 @@ func (g *Graph) MaximalCliquesLimit(minSize, limit int) [][]int {
 // per-seed buffers are reused, so enumeration allocates O(1) amortized
 // memory per seed instead of per recursive call.
 func (g *Graph) EachMaximalClique(minSize int, fn func(clique []int) bool) {
+	s := g.CliqueSeeds(minSize)
+	var sc CliqueEnum
+	for i := 0; i < s.NumSeeds(); i++ {
+		if !s.EnumSeed(i, &sc, fn) {
+			return
+		}
+	}
+}
+
+// CliqueSeeder exposes the per-seed structure of the Bron–Kerbosch
+// enumeration: the degeneracy ordering is computed once, and each seed
+// vertex's expansion — an independent subtree of the search — can then be
+// run on its own, with caller-provided scratch. That per-seed granularity
+// is what MaximalCliquesParallel fans out across workers, and what the
+// fused enumerate→score pipeline in internal/core streams from.
+//
+// Seeds are indexed 0..NumSeeds()-1 in degeneracy order. Running every
+// seed in index order through one CliqueEnum reproduces exactly the
+// EachMaximalClique stream; the per-seed sub-streams are independent of
+// each other, so they may also be run concurrently (with one CliqueEnum
+// per goroutine) and concatenated by seed index to recover the identical
+// stream. The graph must not be mutated while a seeder is in use.
+type CliqueSeeder struct {
+	g       *Graph
+	minSize int
+	order   []int
+	rank    []int
+}
+
+// CliqueSeeds computes the degeneracy ordering and returns a seeder over
+// it. minSize is clamped to ≥ 1, matching MaximalCliques.
+func (g *Graph) CliqueSeeds(minSize int) *CliqueSeeder {
+	if minSize < 1 {
+		minSize = 1
+	}
 	order, _ := g.DegeneracyOrdering()
 	rank := make([]int, len(g.nbrs))
 	for i, u := range order {
 		rank[u] = i
 	}
-	e := &bkEnum{g: g, minSize: minSize, fn: fn}
-	for _, u := range order {
-		if e.stopped {
-			return
-		}
-		e.seed(u, rank)
-	}
+	return &CliqueSeeder{g: g, minSize: minSize, order: order, rank: rank}
+}
+
+// NumSeeds returns the number of seed vertices (every node, in degeneracy
+// order).
+func (s *CliqueSeeder) NumSeeds() int { return len(s.order) }
+
+// CliqueEnum is the reusable scratch of one enumeration worker. The zero
+// value is ready to use; a CliqueEnum must not be shared between
+// concurrently running EnumSeed calls.
+type CliqueEnum struct {
+	e bkEnum
+}
+
+// EnumSeed enumerates the maximal cliques whose Bron–Kerbosch subtree is
+// rooted at seed i, calling fn for each exactly as EachMaximalClique does
+// (the slice is reused; copy it to retain it). It reports whether
+// enumeration ran to completion — false means fn returned false.
+func (s *CliqueSeeder) EnumSeed(i int, sc *CliqueEnum, fn func(clique []int) bool) bool {
+	e := &sc.e
+	e.g = s.g
+	e.minSize = s.minSize
+	e.fn = fn
+	e.stopped = false
+	e.seed(s.order[i], s.rank)
+	e.fn = nil
+	return !e.stopped
 }
 
 // bkEnum holds the reusable state of one EachMaximalClique run.
@@ -295,11 +348,18 @@ func (g *Graph) KCliques(k, limit int) [][]int {
 	return out
 }
 
-func lessIntSlice(a, b []int) bool {
+// cmpIntSlice is the lexicographic three-way comparison clique sorts order
+// by. Concrete (non-reflective) sorting matters here: these sorts run once
+// per round over every clique and reflection-based swaps were a measurable
+// slice of round CPU.
+func cmpIntSlice(a, b []int) int {
 	for i := 0; i < len(a) && i < len(b); i++ {
 		if a[i] != b[i] {
-			return a[i] < b[i]
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
 		}
 	}
-	return len(a) < len(b)
+	return len(a) - len(b)
 }

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// MaximalCliquesParallel is MaximalCliquesLimit with the per-seed
+// Bron–Kerbosch expansions fanned across a bounded pool of workers. The
+// result is byte-identical to the serial enumeration for every worker
+// count:
+//
+//   - each seed's expansion is an independent subtree of the search, so a
+//     worker enumerating seed i emits exactly the sub-stream the serial
+//     pass would emit at position i;
+//   - workers write into index-addressed per-seed buckets, never into a
+//     shared stream, so scheduling cannot reorder anything;
+//   - the buckets are concatenated in seed order, truncated at limit, and
+//     sorted lexicographically — reproducing the serial stream (and its
+//     exact limit cutoff) regardless of how seeds were interleaved.
+//
+// A worker cannot know where the global limit falls while earlier seeds
+// are still running, so each seed caps its own bucket at limit and the
+// concatenation re-applies the exact global cut; with a small limit on a
+// graph with many productive seeds this enumerates up to seeds×limit
+// cliques where the serial pass stops at limit. The limit path is a
+// safety valve for pathological graphs, not the steady state, so the
+// bound is acceptable.
+//
+// workers ≤ 1 (and the degenerate limit == 0, whose cutoff the serial
+// stop predicate only applies after the first emission) delegate to the
+// serial enumeration.
+func (g *Graph) MaximalCliquesParallel(minSize, limit, workers int) [][]int {
+	s := g.CliqueSeeds(minSize)
+	n := s.NumSeeds()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || limit == 0 {
+		return g.MaximalCliquesLimit(minSize, limit)
+	}
+	buckets := make([][][]int, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc CliqueEnum
+			var bucket [][]int
+			emit := func(c []int) bool {
+				cc := make([]int, len(c))
+				copy(cc, c)
+				bucket = append(bucket, cc)
+				return limit < 0 || len(bucket) < limit
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				bucket = nil
+				s.EnumSeed(i, &sc, emit)
+				buckets[i] = bucket
+			}
+		}()
+	}
+	wg.Wait()
+	var out [][]int
+	for _, b := range buckets {
+		if limit >= 0 && len(out)+len(b) >= limit {
+			out = append(out, b[:limit-len(out)]...)
+			break
+		}
+		out = append(out, b...)
+	}
+	slices.SortFunc(out, cmpIntSlice)
+	return out
+}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Edge is a weighted undirected edge with U < V.
@@ -60,8 +61,14 @@ type Graph struct {
 	bits [][]uint64 // dense membership row for high-degree nodes, else nil
 	wdeg []int      // cached Σ_v ω(u, v)
 
-	numEdges    int
-	totalWeight int
+	// numEdges and totalWeight are the only cross-component state AddWeight
+	// touches: every other write lands in the rows of the two endpoints,
+	// which the parallel per-component search mutates from one goroutine per
+	// component. Keeping the global counters atomic makes that concurrent
+	// mutation of edge-disjoint components race-free, and their final values
+	// stay deterministic because counter updates commute.
+	numEdges    atomic.Int64
+	totalWeight atomic.Int64
 }
 
 // New returns an empty graph with n nodes and no edges.
@@ -81,10 +88,10 @@ func New(n int) *Graph {
 func (g *Graph) NumNodes() int { return len(g.nbrs) }
 
 // NumEdges returns the number of node pairs with positive weight.
-func (g *Graph) NumEdges() int { return g.numEdges }
+func (g *Graph) NumEdges() int { return int(g.numEdges.Load()) }
 
 // TotalWeight returns the sum of ω(u, v) over all edges.
-func (g *Graph) TotalWeight() int { return g.totalWeight }
+func (g *Graph) TotalWeight() int { return int(g.totalWeight.Load()) }
 
 // EnsureNodes grows the node set so that it contains at least n nodes.
 // Existing bitset rows are widened to cover the new (edgeless) nodes.
@@ -232,12 +239,12 @@ func (g *Graph) AddWeight(u, v, delta int) {
 		j, _ := g.searchNbr(v, u)
 		g.insertNbr(u, v, nw, i)
 		g.insertNbr(v, u, nw, j)
-		g.numEdges++
+		g.numEdges.Add(1)
 	case old > 0 && nw == 0:
 		j, _ := g.searchNbr(v, u)
 		g.removeNbr(u, v, i)
 		g.removeNbr(v, u, j)
-		g.numEdges--
+		g.numEdges.Add(-1)
 	default:
 		j, _ := g.searchNbr(v, u)
 		g.wts[u][i] = int32(nw)
@@ -245,7 +252,7 @@ func (g *Graph) AddWeight(u, v, delta int) {
 	}
 	g.wdeg[u] += delta
 	g.wdeg[v] += delta
-	g.totalWeight += delta
+	g.totalWeight.Add(int64(delta))
 }
 
 // SetWeight sets ω(u, v) to w exactly.
@@ -297,7 +304,7 @@ func (g *Graph) NeighborWeights(u int, fn func(v, w int)) {
 
 // Edges returns all edges with U < V, sorted lexicographically.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, g.numEdges)
+	out := make([]Edge, 0, g.NumEdges())
 	for u := range g.nbrs {
 		ws := g.wts[u]
 		for i, v := range g.nbrs[u] {
@@ -312,13 +319,13 @@ func (g *Graph) Edges() []Edge {
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		nbrs:        make([][]int32, len(g.nbrs)),
-		wts:         make([][]int32, len(g.wts)),
-		bits:        make([][]uint64, len(g.bits)),
-		wdeg:        append([]int(nil), g.wdeg...),
-		numEdges:    g.numEdges,
-		totalWeight: g.totalWeight,
+		nbrs: make([][]int32, len(g.nbrs)),
+		wts:  make([][]int32, len(g.wts)),
+		bits: make([][]uint64, len(g.bits)),
+		wdeg: append([]int(nil), g.wdeg...),
 	}
+	c.numEdges.Store(g.numEdges.Load())
+	c.totalWeight.Store(g.totalWeight.Load())
 	for u := range g.nbrs {
 		if g.nbrs[u] != nil {
 			c.nbrs[u] = append([]int32(nil), g.nbrs[u]...)

@@ -61,8 +61,11 @@ type Engine struct {
 // New builds an Engine over g with a trained model and reconstruction
 // options. The Engine takes ownership of g — callers that keep using the
 // graph must pass a clone. workers bounds how many dirty components
-// reconstruct concurrently per Apply; 0 means GOMAXPROCS. The output is
-// identical for every worker count.
+// reconstruct concurrently per Apply; 0 means GOMAXPROCS. Inside each
+// component's rebuild the round engine additionally honors
+// opts.Parallelism (see core.Options), which matters when one oversized
+// dirty component dominates an Apply. The output is identical for every
+// worker count and parallelism setting.
 func New(g *graph.Graph, m *core.Model, opts core.Options, workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -227,9 +227,12 @@ func WithNegativeRatio(v float64) Option {
 	}
 }
 
-// WithParallelism sets the worker count of ReconstructBatch; 0 (the
-// default) uses GOMAXPROCS. Single-target Reconstruct calls are unaffected
-// (per-round scoring always fans out internally).
+// WithParallelism bounds the reconstructor's worker fan-out: the
+// ReconstructBatch pool, and the parallel round engine inside every
+// reconstruction (clique enumeration, the fused enumerate→score pipeline,
+// and per-component search — see README "Parallel round engine"). 0 (the
+// default) uses GOMAXPROCS; 1 forces the fully serial reference pipeline.
+// Output bytes are identical at every setting.
 func WithParallelism(n int) Option {
 	return func(c *config) error {
 		if n < 0 {
@@ -369,6 +372,7 @@ func (r *Reconstructor) reconstructOptions(progress ProgressFunc) core.Options {
 		MaxRounds:            r.cfg.maxRounds,
 		MaxCliqueLimit:       r.cfg.cliqueLimit,
 		Seed:                 r.cfg.seed,
+		Parallelism:          r.cfg.parallelism,
 		Progress:             progress,
 	}
 }
